@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure at the ``small`` tier
+(the default reproduction scale), asserts the paper's qualitative shape,
+and archives the rendered report under ``benchmarks/out/`` so a run leaves
+the full set of regenerated tables behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Tier used by the figure/table benchmarks.
+BENCH_TIER = "small"
+
+
+@pytest.fixture(scope="session")
+def bench_out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def archive(bench_out_dir):
+    """Write one experiment's rendered report to benchmarks/out/."""
+
+    def _archive(experiment_id: str, text: str) -> None:
+        (bench_out_dir / f"{experiment_id}.txt").write_text(text)
+
+    return _archive

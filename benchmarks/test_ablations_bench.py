@@ -1,0 +1,33 @@
+"""Benches (ablations): cost-model fidelity and switch-buffer sensitivity."""
+
+from repro.experiments import ablations
+
+from conftest import BENCH_TIER
+
+
+def test_cost_model_fidelity(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: ablations.run_cost_model_fidelity(tier=BENCH_TIER),
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation-costmodel", result.render())
+    # The occupancy estimate is a usable decision signal: bounded error.
+    assert result.data["mean_error"] < 1.0
+
+
+def test_switch_buffer(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: ablations.run_switch_buffer(tier=BENCH_TIER),
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation-switch-buffer", result.render())
+    series = result.data["series"]
+    movements = [p["movement_bytes"] for p in series]
+    # Monotone: a bigger aggregation table never moves more data.
+    assert movements == sorted(movements, reverse=True)
+    # A starved table converges to the no-INC movement; a large one
+    # clearly beats it (the Section IV.C caveat, quantified).
+    assert movements[0] <= result.data["no_inc_bytes"] * 1.001
+    assert movements[-1] < 0.9 * result.data["no_inc_bytes"]

@@ -1,0 +1,35 @@
+"""Bench (ablation): independent compute-pool scaling.
+
+Expected shape: disaggregation's independent-scaling promise holds for the
+NDP deployment — movement is flat in the host count while modeled time
+falls — whereas the fetch deployment pays a growing host-to-host update
+reshuffle as the compute pool widens.
+"""
+
+from repro.experiments import ablations
+
+from conftest import BENCH_TIER
+
+
+def test_compute_scaling(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: ablations.run_compute_scaling(tier=BENCH_TIER),
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation-compute-scaling", result.render())
+    rows = result.data["rows"]
+
+    ndp_bytes = [r["ndp_bytes"] for r in rows]
+    fetch_bytes = [r["fetch_bytes"] for r in rows]
+    ndp_time = [r["ndp_seconds"] for r in rows]
+
+    # NDP movement independent of the compute pool size.
+    assert max(ndp_bytes) == min(ndp_bytes)
+    # Fetch movement grows with hosts (cross-host reshuffle).
+    assert fetch_bytes[-1] > fetch_bytes[0]
+    # More hosts -> never slower under NDP (parallel host links).
+    assert all(b <= a * 1.0001 for a, b in zip(ndp_time, ndp_time[1:]))
+    # NDP cheaper than fetch at every pool size.
+    for r in rows:
+        assert r["ndp_bytes"] < r["fetch_bytes"]

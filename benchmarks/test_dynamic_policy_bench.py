@@ -1,0 +1,27 @@
+"""Bench (ablation, Section IV.D): dynamic offload policy vs static ones.
+
+Expected shape: the oracle never moves more than the better static policy
+on any workload; the realistic dynamic policy tracks the oracle within the
+cost-model's estimation error.
+"""
+
+from repro.experiments import ablations
+
+from conftest import BENCH_TIER
+
+
+def test_dynamic_policy(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: ablations.run_dynamic_policy(tier=BENCH_TIER),
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation-dynamic", result.render())
+
+    for workload, totals in result.data.items():
+        envelope = min(totals["always"], totals["never"])
+        # Oracle lower-bounds both static deployments.
+        assert totals["oracle"] <= envelope * 1.0001, workload
+        # The feedback-calibrated dynamic policy stays within 2x of the
+        # oracle (its gap is the occupancy-estimate error on skew).
+        assert totals["dynamic"] <= 2.0 * totals["oracle"], workload

@@ -1,0 +1,31 @@
+"""Bench (ablation): energy by architecture.
+
+Expected shape: total energy ranks with interconnect movement —
+disaggregated-NDP cheapest (least movement, near-data compute), the
+coupled distributed deployments most expensive; NDP variants always spend
+less compute energy than their host-compute twins.
+"""
+
+from repro.experiments import ablations
+
+from conftest import BENCH_TIER
+
+
+def test_energy(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: ablations.run_energy(tier=BENCH_TIER), rounds=1, iterations=1
+    )
+    archive("ablation-energy", result.render())
+    data = result.data
+
+    totals = {arch: d["total_j"] for arch, d in data.items()}
+    assert totals["disaggregated-ndp"] == min(totals.values())
+    # Every non-NDP-offload deployment pays at least 2x the energy.
+    for arch in ("distributed", "distributed-ndp", "disaggregated"):
+        assert totals[arch] > 2 * totals["disaggregated-ndp"], arch
+    # NDP shifts ops to cheaper near-data units.
+    assert (
+        data["distributed-ndp"]["compute_j"] < data["distributed"]["compute_j"]
+    )
+    assert data["disaggregated-ndp"]["ndp_ops"] > 0
+    assert data["disaggregated"]["ndp_ops"] == 0

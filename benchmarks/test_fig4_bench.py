@@ -1,0 +1,40 @@
+"""Bench: regenerate Fig. 4 (compute vs memory requirements).
+
+Expected reproduction shape: the eight (graph, kernel) points spread on
+both axes — kernels on one graph share memory but differ in compute
+(orange box), one kernel across graphs shares intensity but differs in
+memory (purple box).
+"""
+
+from repro.experiments import fig4
+
+from conftest import BENCH_TIER
+
+
+def test_fig4(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: fig4.run(tier=BENCH_TIER), rounds=1, iterations=1
+    )
+    archive("fig4", result.render())
+    points = result.data["points"]
+    assert len(points) == 8
+
+    # Orange-box analogue: same graph => same memory axis, different compute.
+    for graph in ("twitter7-sim", "uk2005-sim"):
+        pr = points[f"{graph}/pagerank"]
+        bfs = points[f"{graph}/bfs"]
+        cc = points[f"{graph}/cc"]
+        assert pr["compute_ops"] > bfs["compute_ops"]
+        assert pr["compute_ops"] > cc["compute_ops"] * 0.999
+
+    # Purple-box analogue: same kernel across graphs differs in memory.
+    for kernel in ("pagerank", "cc", "sssp", "bfs"):
+        tw = points[f"twitter7-sim/{kernel}"]
+        uk = points[f"uk2005-sim/{kernel}"]
+        assert tw["memory_bytes"] != uk["memory_bytes"]
+
+    # All-active kernels dominate the compute axis on the same graph.
+    assert (
+        points["twitter7-sim/pagerank"]["compute_ops"]
+        > points["twitter7-sim/sssp"]["compute_ops"] * 0.2
+    )

@@ -1,0 +1,42 @@
+"""Bench: regenerate Fig. 6 (partitioning + in-network aggregation sweep).
+
+Expected reproduction shape (paper): NDP+hash movement grows with the
+partition count and crosses above the no-NDP baseline (distribution
+nullifies the NDP benefit); METIS partitioning keeps the growth below the
+baseline; adding in-network aggregation flattens the curve and restores
+the NDP benefit at every scale (the paper quotes ~0.65x).
+"""
+
+from repro.experiments import fig6
+
+from conftest import BENCH_TIER
+
+PARTITIONS = (2, 4, 8, 16, 32, 64)
+
+
+def test_fig6(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: fig6.run(tier=BENCH_TIER, partitions=PARTITIONS),
+        rounds=1,
+        iterations=1,
+    )
+    archive("fig6", result.render())
+    series = result.data["series"]
+    fetch = series["fetch"]
+    hash_ndp = series["ndp-hash"]
+    metis_ndp = series["ndp-metis"]
+    inc = series["ndp-metis-inc"]
+
+    # Baseline flat in the partition count.
+    assert max(fetch) / min(fetch) < 1.001
+    # NDP+hash: monotone growth and a crossover above the baseline.
+    assert hash_ndp[0] < fetch[0]
+    assert hash_ndp[-1] > fetch[-1]
+    assert all(b >= a for a, b in zip(hash_ndp, hash_ndp[1:]))
+    # METIS stays below hash everywhere and below the baseline at 64 parts.
+    assert all(m < h for m, h in zip(metis_ndp[1:], hash_ndp[1:]))
+    assert metis_ndp[-1] < fetch[-1]
+    # INC: flat-ish, cheapest series, beats the baseline at every K.
+    assert max(inc) < 1.25 * min(inc)
+    assert all(i < f for i, f in zip(inc, fetch))
+    assert all(i <= m for i, m in zip(inc, metis_ndp))

@@ -1,0 +1,48 @@
+"""Bench: regenerate Fig. 7 (per-iteration movement, NDP vs no NDP).
+
+Expected reproduction shape (paper): for the frontier-driven kernels
+(CC on Twitter7, SSSP on com-LiveJournal) the cheaper alternative flips
+within the run — early dense frontiers favor offload, late sparse
+frontiers favor fetch — which is the motivation for per-iteration dynamic
+decisions (Section IV.D).
+"""
+
+import numpy as np
+
+from repro.experiments import fig7
+
+from conftest import BENCH_TIER
+
+
+def test_fig7(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: fig7.run(tier=BENCH_TIER), rounds=1, iterations=1
+    )
+    archive("fig7", result.render())
+    data = result.data
+    assert set(data) == {"a", "b", "c"}
+
+    # Panels (a) and (b): the winner is not constant across iterations.
+    assert data["a"]["winner_flips"] >= 1
+    assert data["b"]["winner_flips"] >= 1
+
+    # Panel (a): CC's frontier collapses geometrically, and movement
+    # follows it down.
+    frontier = np.asarray(data["a"]["frontier"])
+    assert frontier[0] > 10 * frontier[-1]
+    fetch = np.asarray(data["a"]["fetch_bytes"], dtype=float)
+    assert fetch[0] > fetch[-1]
+
+    # Panel (c): PageRank's frontier is all-active, so per-iteration
+    # movement is constant and one side wins uniformly.
+    pr_fetch = np.asarray(data["c"]["fetch_bytes"], dtype=float)
+    pr_off = np.asarray(data["c"]["offload_bytes"], dtype=float)
+    assert np.allclose(pr_fetch, pr_fetch[0])
+    assert np.allclose(pr_off, pr_off[0])
+
+    # Early iterations of (a): dense frontier, offload cheaper.
+    a_fetch = np.asarray(data["a"]["fetch_bytes"], dtype=float)
+    a_off = np.asarray(data["a"]["offload_bytes"], dtype=float)
+    assert a_off[0] < a_fetch[0]
+    # Final iterations: sparse frontier, fetch cheaper.
+    assert a_off[-1] >= a_fetch[-1]

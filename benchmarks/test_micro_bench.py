@@ -1,0 +1,65 @@
+"""Microbenchmarks of the core primitives (pytest-benchmark timing).
+
+These time the substrate pieces the figure benches are built on — graph
+generation, partitioning, one engine iteration — so performance
+regressions in the hot paths are visible independent of the experiment
+harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.engine import execute_iteration
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import rmat
+from repro.kernels.pagerank import PageRank
+from repro.partition import HashPartitioner, MetisPartitioner
+from repro.partition.base import PartitionAssignment
+from repro.partition.mirrors import build_mirror_table
+
+
+@pytest.fixture(scope="module")
+def lj_small():
+    graph, _ = load_dataset("livejournal-sim", tier="small", seed=7)
+    return graph
+
+
+def test_rmat_generation(benchmark):
+    graph = benchmark(lambda: rmat(13, 16, seed=1))
+    assert graph.num_vertices == 8192
+
+
+def test_hash_partition(benchmark, lj_small):
+    assignment = benchmark(
+        lambda: HashPartitioner().partition(lj_small, 32)
+    )
+    assert assignment.num_parts == 32
+
+
+def test_metis_partition(benchmark, lj_small):
+    assignment = benchmark.pedantic(
+        lambda: MetisPartitioner().partition(lj_small, 8, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert assignment.num_parts == 8
+
+
+def test_mirror_table_construction(benchmark, lj_small):
+    assignment = HashPartitioner().partition(lj_small, 32)
+    table = benchmark(lambda: build_mirror_table(lj_small, assignment))
+    assert table.num_mirrors > 0
+
+
+def test_engine_iteration_pagerank(benchmark, lj_small):
+    kernel = PageRank()
+    assignment = PartitionAssignment(
+        np.arange(lj_small.num_vertices, dtype=np.int64) % 16, 16
+    )
+
+    def one_iteration():
+        state = kernel.initial_state(lj_small)
+        return execute_iteration(kernel, state, assignment)
+
+    profile = benchmark(one_iteration)
+    assert profile.edges_traversed == lj_small.num_edges

@@ -1,0 +1,31 @@
+"""Bench (ablation): per-memory-node hybrid offload.
+
+Section IV asks for runtime control over which operations to offload "and
+where".  Expected shape: on shards of divergent density, the hybrid
+deployment (offload dense shards, fetch sparse ones) strictly dominates
+the better global policy, and the realistic per-part policy matches its
+oracle variant.
+"""
+
+from repro.experiments import ablations
+
+from conftest import BENCH_TIER
+
+
+def test_per_part_offload(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: ablations.run_per_part_offload(tier=BENCH_TIER),
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation-per-part", result.render())
+    totals = result.data["totals"]
+    best_global = result.data["best_global"]
+
+    assert totals["per-part"] <= best_global
+    assert totals["per-part-oracle"] <= totals["per-part"] * 1.0001
+    # The hybrid gains something real on this workload (>= 5%).
+    assert totals["per-part"] < 0.95 * best_global
+    # Global policies bracket the hybrid from above.
+    assert totals["never"] > totals["per-part"]
+    assert totals["always"] > totals["per-part"]

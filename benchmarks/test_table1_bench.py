@@ -1,0 +1,25 @@
+"""Bench: regenerate Table I (NDP device characteristics)."""
+
+from repro.experiments import table1
+
+from conftest import BENCH_TIER  # noqa: F401 - tier symmetry with other benches
+
+
+def test_table1(benchmark, archive):
+    result = benchmark(table1.run)
+    archive("table1", result.render())
+
+    data = result.data
+    # The paper's capability rows.
+    assert data["cxl-cms"]["supports_fp"]
+    assert data["cxl-pnm"]["supports_fp"]
+    assert not data["upmem"]["supports_fp"]
+    assert data["upmem"]["traverse_kernels"] == ["cc", "bfs"]
+    assert data["cxl-cms"]["traverse_kernels"] == ["pagerank", "cc", "sssp", "bfs"]
+    assert data["switchml-tofino"]["traverse_kernels"] == []
+    assert data["sharp-switchib2"]["aggregate_kernels"] == [
+        "pagerank", "cc", "sssp", "bfs",
+    ]
+    # Bandwidth figures from Table I.
+    assert data["cxl-cms"]["internal_bandwidth_bps"] == 1.1e12
+    assert data["upmem"]["internal_bandwidth_bps"] == 1.7e12

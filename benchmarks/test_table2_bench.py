@@ -1,0 +1,30 @@
+"""Bench: regenerate Table II (architecture comparison).
+
+Expected reproduction: all four qualitative rows match the paper —
+(comm, sync, utilization) = distributed (High, High, Skewed),
+distributed-NDP (High, High, Skewed), disaggregated (High, Low, Balanced),
+disaggregated-NDP (Low, Low, Balanced).
+"""
+
+from repro.experiments import table2
+from repro.experiments.table2 import PAPER_LABELS
+
+from conftest import BENCH_TIER
+
+
+def test_table2(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: table2.run(tier=BENCH_TIER), rounds=1, iterations=1
+    )
+    archive("table2", result.render())
+
+    assert result.data["labels"] == PAPER_LABELS
+    bytes_by_arch = result.data["bytes"]
+    # Disaggregated NDP is the only Low-communication architecture and
+    # moves several times less than the worst row.
+    worst = max(bytes_by_arch.values())
+    assert bytes_by_arch["disaggregated-ndp"] < 0.5 * worst
+    # Sync width: distributed barriers span all nodes, disaggregated only
+    # the compute pool.
+    sync = result.data["sync_participants"]
+    assert sync["distributed"] > sync["disaggregated"] == sync["disaggregated-ndp"] == 1

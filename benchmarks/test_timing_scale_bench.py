@@ -1,0 +1,48 @@
+"""Benches (ablations): modeled time breakdown and graph-scale stability."""
+
+from repro.experiments import ablations
+
+from conftest import BENCH_TIER
+
+
+def test_timing(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: ablations.run_timing(tier=BENCH_TIER), rounds=1, iterations=1
+    )
+    archive("ablation-timing", result.render())
+    data = result.data
+
+    # NDP slashes traversal time inside the nodes/pool.
+    assert (
+        data["distributed-ndp"]["traverse_s"]
+        < data["distributed"]["traverse_s"]
+    )
+    assert (
+        data["disaggregated-ndp"]["traverse_s"]
+        < data["disaggregated"]["traverse_s"]
+    )
+    # Only the distributed architectures pay wide barriers.
+    assert data["distributed"]["sync_s"] > data["disaggregated"]["sync_s"]
+    # End to end, disaggregated NDP is the fastest deployment.
+    totals = {arch: d["total_s"] for arch, d in data.items()}
+    assert totals["disaggregated-ndp"] == min(totals.values())
+
+
+def test_scale(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: ablations.run_scale(tier=BENCH_TIER, shifts=(-2, -1, 0)),
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation-scale", result.render())
+    rows = result.data["rows"]
+
+    # Offload wins at every scale on this dense graph...
+    for row in rows:
+        assert row["ratio"] < 1.0, row["shift"]
+    # ...and the benefit ratio is stable across a 4x size range (the
+    # justification for trend-level reproduction on scaled stand-ins).
+    ratios = [row["ratio"] for row in rows]
+    assert max(ratios) - min(ratios) < 0.2
+    # Movement itself scales with the graph.
+    assert rows[-1]["fetch_bytes"] > 2 * rows[0]["fetch_bytes"]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Compare all four system architectures on one workload (Table II, live).
+
+Runs PageRank on the Twitter7 stand-in through the distributed,
+distributed-NDP, disaggregated, and disaggregated-NDP simulators, then
+prints the measured movement, modeled time breakdown, and the provisioning
+story behind the Skewed/Balanced utilization labels.
+
+Run:  python examples/architecture_comparison.py [dataset]
+"""
+
+import sys
+
+from repro import PageRank, SystemConfig, compare_architectures, load_dataset
+from repro.hardware import CXL_CMS, HOST_XEON
+from repro.runtime.provision import (
+    provision_coupled,
+    provision_disaggregated,
+    workload_demands,
+)
+from repro.utils.tables import TextTable
+from repro.utils.units import format_bytes
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "twitter7-sim"
+    graph, spec = load_dataset(dataset, tier="small", seed=7)
+    print(f"workload: PageRank on {spec.name} ({graph})\n")
+
+    comparison = compare_architectures(
+        graph,
+        PageRank(max_iterations=5),
+        config=SystemConfig(num_compute_nodes=1, num_memory_nodes=8),
+        graph_name=spec.name,
+        demand_scale=1e7,
+        target_iteration_seconds=10.0,
+    )
+    print(comparison.as_table())
+    print()
+
+    timing = TextTable(
+        ["architecture", "traverse (ms)", "movement (ms)", "apply (ms)", "sync (ms)"],
+        title="Modeled per-run phase times",
+    )
+    for row in comparison.rows:
+        run = row.run
+        timing.add_row(
+            row.architecture,
+            1e3 * sum(s.traverse_seconds for s in run.iterations),
+            1e3 * sum(s.movement_seconds for s in run.iterations),
+            1e3 * sum(s.apply_seconds for s in run.iterations),
+            1e3 * row.total_sync_seconds,
+        )
+    print(timing)
+    print()
+
+    # The provisioning story behind the utilization column.
+    demand = workload_demands(graph, PageRank())
+    scale = 20 * CXL_CMS.memory_capacity_bytes / demand.memory_bytes
+    demand = type(demand)(
+        compute_ops_per_iteration=demand.compute_ops_per_iteration * scale,
+        memory_bytes=demand.memory_bytes * scale,
+        kernel=demand.kernel,
+        graph_vertices=demand.graph_vertices,
+        graph_edges=demand.graph_edges,
+    )
+    coupled = provision_coupled(demand, HOST_XEON, target_iteration_seconds=10.0)
+    disagg = provision_disaggregated(
+        demand, HOST_XEON, CXL_CMS, target_iteration_seconds=10.0
+    )
+    print(
+        f"paper-scale projection ({format_bytes(demand.memory_bytes)} of graph):\n"
+        f"  coupled cluster:  {coupled.num_compute_nodes} servers — compute "
+        f"util {coupled.report.compute_utilization:.0%}, memory util "
+        f"{coupled.report.memory_utilization:.0%}  (stranded: "
+        f"{coupled.report.stranded_fraction:.0%})\n"
+        f"  disaggregated:    {disagg.num_compute_nodes} compute + "
+        f"{disagg.num_memory_nodes} memory nodes — compute util "
+        f"{disagg.report.compute_utilization:.0%}, memory util "
+        f"{disagg.report.memory_utilization:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Define a custom analytics kernel with the DSL and deploy it near-data.
+
+Implements *label-confidence propagation* — each vertex accumulates the
+weighted average opinion of its in-neighbors — as three plain functions,
+then runs it through the disaggregated NDP simulator with capability
+checks, movement accounting, and offload policies, exactly like the
+built-in kernels.
+
+Run:  python examples/custom_kernel_dsl.py
+"""
+
+import numpy as np
+
+from repro import (
+    DisaggregatedNDPSimulator,
+    SystemConfig,
+    UPMEM_PIM,
+    check_offload,
+    load_dataset,
+)
+from repro.api import vertex_program
+from repro.utils.units import format_bytes
+
+
+def make_opinion_kernel(iterations: int = 8, mix: float = 0.5):
+    """Opinion dynamics: x' = (1-mix)*x + mix*mean(in-neighbor x)."""
+
+    def init(graph, source):
+        n = graph.num_vertices
+        rng = np.random.default_rng(0)
+        deg = graph.out_degrees.astype(np.float64)
+        inv = np.zeros(n)
+        inv[deg > 0] = 1.0 / deg[deg > 0]
+        in_deg = graph.in_degrees.astype(np.float64)
+        inv_in = np.zeros(n)
+        inv_in[in_deg > 0] = 1.0 / in_deg[in_deg > 0]
+        return {
+            "props": {
+                "opinion": rng.random(n),  # initial stances in [0, 1]
+                "inv_in": inv_in,
+            },
+            "frontier": np.arange(n),
+        }
+
+    def traverse(state, src, dst, w):
+        # each vertex shares its current opinion along out-edges
+        return state.prop("opinion")[src]
+
+    def apply(state, touched, reduced):
+        opinion = state.prop("opinion")
+        mean_in = reduced * state.prop("inv_in")[touched]
+        before = opinion[touched].copy()
+        opinion[touched] = (1 - mix) * opinion[touched] + mix * mean_in
+        changed = touched[np.abs(opinion[touched] - before) > 1e-9]
+        return changed
+
+    return vertex_program(
+        name="opinion-propagation",
+        init=init,
+        traverse=traverse,
+        apply=apply,
+        result="opinion",
+        reduce="sum",
+        needs_fp=True,  # averaging needs FP — this gates offload targets
+        frontier=lambda state, changed: np.arange(state.num_vertices),
+        max_iterations=iterations,
+    )
+
+
+def main() -> None:
+    graph, spec = load_dataset("livejournal-sim", tier="small", seed=7)
+    kernel = make_opinion_kernel()
+    print(f"custom kernel {kernel.name!r} on {spec.name} ({graph})\n")
+
+    # Capability checking applies to DSL kernels like any other: the FP
+    # averaging cannot offload to UPMEM's integer DPUs.
+    denied = check_offload(kernel, UPMEM_PIM)
+    print(f"offload to {UPMEM_PIM.name}: "
+          f"{'allowed' if denied.allowed else 'denied — ' + denied.reasons[0]}")
+
+    sim = DisaggregatedNDPSimulator(SystemConfig(num_memory_nodes=8))
+    run = sim.run(graph, kernel, graph_name=spec.name)
+    print(f"\nran {run.num_iterations} iterations, moved "
+          f"{format_bytes(run.total_host_link_bytes)} "
+          f"(all traversals near-data)")
+
+    opinions = run.result_property()
+    print(f"opinion spread: start uniform[0,1] -> "
+          f"std {opinions.std():.3f}, mean {opinions.mean():.3f}")
+    print("\nConsensus emerges as mixing iterations proceed — and the whole "
+          "run was accounted byte-for-byte by the movement model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""How partitioning quality drives NDP movement (paper Fig. 6, hands-on).
+
+Partitions the com-LiveJournal stand-in with every registered partitioner,
+reports the structural quality metrics (edge cut, communication volume,
+replication factor), then shows how each assignment changes the data the
+disaggregated-NDP deployment moves — with and without in-network
+aggregation.
+
+Run:  python examples/partitioning_study.py
+"""
+
+from repro import (
+    DisaggregatedNDPSimulator,
+    PageRank,
+    SystemConfig,
+    load_dataset,
+    partition_quality,
+)
+from repro.partition import get_partitioner, list_partitioners
+from repro.utils.tables import TextTable
+from repro.utils.units import format_bytes
+
+NUM_PARTS = 16
+
+
+def main() -> None:
+    graph, spec = load_dataset("livejournal-sim", tier="small", seed=7)
+    print(f"graph: {spec.name} ({graph}), {NUM_PARTS} partitions\n")
+
+    quality_table = TextTable(
+        ["partitioner", "cut frac", "comm volume", "balance", "replication"],
+        title="Partition quality",
+    )
+    movement_table = TextTable(
+        ["partitioner", "NDP movement", "NDP+INC movement", "INC benefit"],
+        title="PageRank movement under each partitioning (5 iterations)",
+    )
+
+    config = SystemConfig(num_memory_nodes=NUM_PARTS)
+    config_inc = config.with_options(enable_inc=True)
+
+    for name in list_partitioners():
+        partitioner = get_partitioner(name)
+        assignment = partitioner.partition(graph, NUM_PARTS, seed=7)
+        q = partition_quality(graph, assignment)
+        quality_table.add_row(
+            name, q.cut_fraction, q.communication_volume, q.balance, q.replication
+        )
+
+        ndp = DisaggregatedNDPSimulator(config).run(
+            graph, PageRank(max_iterations=5), assignment=assignment
+        )
+        inc = DisaggregatedNDPSimulator(config_inc).run(
+            graph, PageRank(max_iterations=5), assignment=assignment
+        )
+        movement_table.add_row(
+            name,
+            format_bytes(ndp.total_host_link_bytes),
+            format_bytes(inc.total_host_link_bytes),
+            1.0 - inc.total_host_link_bytes / max(ndp.total_host_link_bytes, 1),
+        )
+
+    print(quality_table)
+    print()
+    print(movement_table)
+    print(
+        "\nLower communication volume (METIS, BFS-grow, range on this "
+        "community-structured graph) means fewer partial updates to ship; "
+        "in-network aggregation then collapses whatever duplication remains."
+    )
+
+
+if __name__ == "__main__":
+    main()

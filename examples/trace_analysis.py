@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Trace-driven analysis: record runs, compare deployments, pick directions.
+
+Mirrors the paper's methodology end to end: run BFS under two deployments,
+export the per-iteration traces, compare them offline (who wins each
+iteration, where the crossover falls), and extend the decision space with
+the push/pull direction analysis.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    BFS,
+    DisaggregatedNDPSimulator,
+    DisaggregatedSimulator,
+    SystemConfig,
+    load_dataset,
+)
+from repro.analysis import direction_profile
+from repro.trace import (
+    compare_traces,
+    load_trace_csv,
+    summarize_trace,
+    trace_run,
+    write_trace_csv,
+)
+from repro.utils.units import format_bytes
+
+
+def main() -> None:
+    graph, spec = load_dataset("twitter7-sim", tier="small", seed=7)
+    source = int(graph.out_degrees.argmax())
+    config = SystemConfig(num_memory_nodes=32)
+    print(f"BFS from hub {source} on {spec.name} ({graph}), 32 partitions\n")
+
+    fetch_run = DisaggregatedSimulator(config).run(
+        graph, BFS(), source=source, graph_name=spec.name
+    )
+    ndp_run = DisaggregatedNDPSimulator(config).run(
+        graph, BFS(), source=source, graph_name=spec.name
+    )
+
+    # --- export + reload the traces (what an offline pipeline would do) --- #
+    with tempfile.TemporaryDirectory() as tmp:
+        fetch_path = Path(tmp) / "fetch.csv"
+        write_trace_csv(trace_run(fetch_run), fetch_path)
+        fetch_trace = load_trace_csv(fetch_path)
+    ndp_trace = trace_run(ndp_run)
+
+    for label, trace in (("fetch", fetch_trace), ("ndp", ndp_trace)):
+        s = summarize_trace(trace)
+        print(f"{label:6s}: {s['iterations']} iters, "
+              f"{format_bytes(s['total_host_link_bytes'])} moved, "
+              f"peak frontier {s['peak_frontier']:,}")
+
+    # --- per-iteration comparison (the Fig. 7 questions) ------------------ #
+    cmp = compare_traces(fetch_trace, ndp_trace, label_a="fetch", label_b="ndp")
+    winners = cmp.winner_per_iteration()
+    print(f"\nper-iteration winner: {winners}")
+    print(f"crossover iterations: {cmp.crossover_iterations()}")
+    print(f"ndp/fetch total ratio: {1 / cmp.total_ratio():.2f}x "
+          f"({'ndp' if cmp.total_ratio() > 1 else 'fetch'} wins overall)")
+
+    # --- add the direction axis (push vs pull) ---------------------------- #
+    profile = direction_profile(
+        graph,
+        fetch_run.result_property(),
+        BFS(),
+        num_parts=32,
+        push_offload_bytes=ndp_run.per_iteration_bytes(),
+        push_fetch_bytes=fetch_run.per_iteration_bytes(),
+    )
+    print("\nwith the push/pull direction decision added:")
+    for t, mode in enumerate(profile.best_mode_per_iteration()):
+        print(f"  iteration {t}: frontier {int(profile.frontier[t]):6,} -> {mode}")
+    totals = profile.totals()
+    best_fixed = min(v for k, v in totals.items() if k != "adaptive")
+    print(f"\nadaptive (direction+placement per iteration): "
+          f"{format_bytes(totals['adaptive'])} vs best fixed mode "
+          f"{format_bytes(best_fixed)} "
+          f"({1 - totals['adaptive'] / best_fixed:.0%} saved)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Compatibility shim for offline editable installs.
+
+``pip install -e .`` needs the ``wheel`` package to build an editable
+wheel (PEP 660); fully offline environments without it can use::
+
+    python setup.py develop
+
+which installs the same editable mapping through setuptools directly.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,167 @@
+"""repro — Disaggregated NDP architectures for large-scale graph analytics.
+
+A production-quality reproduction of *"Towards Disaggregated NDP
+Architectures for Large-scale Graph Analytics"* (Lee, Rao, Gavrilovska;
+SC 2024 workshops): CSR graph substrate, from-scratch multilevel
+partitioner, vertex-program kernels, Table I hardware models, discrete
+simulators for the four Table II system architectures, the offload/
+aggregation runtime mechanisms of Section IV, and a harness regenerating
+every table and figure.
+
+Quickstart::
+
+    from repro import load_dataset, PageRank, DisaggregatedNDPSimulator
+
+    graph, spec = load_dataset("livejournal-sim")
+    sim = DisaggregatedNDPSimulator()
+    run = sim.run(graph, PageRank(), graph_name=spec.name)
+    print(run.summary_table())
+"""
+
+from repro.errors import (
+    CapabilityError,
+    ConfigError,
+    ExperimentError,
+    GraphError,
+    KernelError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+)
+from repro.graph import (
+    CSRGraph,
+    GraphBuilder,
+    barabasi_albert,
+    compute_stats,
+    erdos_renyi,
+    list_datasets,
+    load_dataset,
+    rmat,
+)
+from repro.partition import (
+    BFSGrowPartitioner,
+    HashPartitioner,
+    MetisPartitioner,
+    PartitionAssignment,
+    RandomPartitioner,
+    RangePartitioner,
+    build_mirror_table,
+    partition_quality,
+)
+from repro.kernels import (
+    BFS,
+    SSSP,
+    ConnectedComponents,
+    DegreeCentrality,
+    KCore,
+    PageRank,
+    get_kernel,
+    list_kernels,
+)
+from repro.hardware import (
+    CXL_CMS,
+    CXL_PNM,
+    HOST_XEON,
+    SHARP_SWITCH,
+    SWITCHML_TOFINO,
+    UPMEM_PIM,
+    check_offload,
+    device_catalog,
+)
+from repro.arch import (
+    DisaggregatedNDPSimulator,
+    DisaggregatedSimulator,
+    DistributedNDPSimulator,
+    DistributedSimulator,
+    RunResult,
+    compare_architectures,
+    estimate_run_energy,
+    get_architecture,
+    list_architectures,
+)
+from repro.api import vertex_program
+from repro.runtime import (
+    AlwaysOffload,
+    DynamicCostPolicy,
+    NeverOffload,
+    OraclePolicy,
+    PerPartCostPolicy,
+    SystemConfig,
+    ThresholdPolicy,
+    estimate_movement,
+    exact_movement,
+    get_policy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GraphError",
+    "PartitionError",
+    "KernelError",
+    "CapabilityError",
+    "ConfigError",
+    "SimulationError",
+    "ExperimentError",
+    # graph
+    "CSRGraph",
+    "GraphBuilder",
+    "rmat",
+    "erdos_renyi",
+    "barabasi_albert",
+    "load_dataset",
+    "list_datasets",
+    "compute_stats",
+    # partition
+    "PartitionAssignment",
+    "HashPartitioner",
+    "RandomPartitioner",
+    "RangePartitioner",
+    "BFSGrowPartitioner",
+    "MetisPartitioner",
+    "build_mirror_table",
+    "partition_quality",
+    # kernels
+    "PageRank",
+    "BFS",
+    "SSSP",
+    "ConnectedComponents",
+    "DegreeCentrality",
+    "KCore",
+    "get_kernel",
+    "list_kernels",
+    # hardware
+    "CXL_CMS",
+    "CXL_PNM",
+    "UPMEM_PIM",
+    "SWITCHML_TOFINO",
+    "SHARP_SWITCH",
+    "HOST_XEON",
+    "device_catalog",
+    "check_offload",
+    # architectures
+    "DistributedSimulator",
+    "DistributedNDPSimulator",
+    "DisaggregatedSimulator",
+    "DisaggregatedNDPSimulator",
+    "RunResult",
+    "compare_architectures",
+    "estimate_run_energy",
+    "get_architecture",
+    "list_architectures",
+    "vertex_program",
+    # runtime
+    "SystemConfig",
+    "AlwaysOffload",
+    "NeverOffload",
+    "ThresholdPolicy",
+    "DynamicCostPolicy",
+    "OraclePolicy",
+    "PerPartCostPolicy",
+    "get_policy",
+    "estimate_movement",
+    "exact_movement",
+]

@@ -1,0 +1,182 @@
+"""Push vs pull traversal direction analysis for frontier kernels.
+
+Direction-optimizing BFS (Beamer et al.) switches between *push* (scan the
+frontier's out-edges) and *pull* (scan the undiscovered vertices' in-edges)
+as the frontier waxes and wanes.  On a disaggregated NDP system the same
+switch changes what crosses the network:
+
+* **push offload** — frontier property push + one partial update per
+  (destination, memory node) pair (what the simulators measure);
+* **pull offload** — a frontier membership bitmap to every memory node
+  (``ceil(n/8)`` bytes each) + exactly one update per *newly discovered*
+  vertex: the dense-frontier iterations that flood push with partial
+  updates produce almost nothing under pull.
+
+The profile is computed analytically from a completed BFS's levels array —
+the per-iteration candidate and discovery sets are fully determined by the
+levels — so it composes with any simulator run without engine changes.
+It quantifies a further dynamic decision the paper's runtime would own:
+not just *whether* and *where* to offload, but *in which direction*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graph.csr import CSRGraph
+from repro.kernels.base import VERTEX_ID_BYTES, VertexProgram
+
+
+def pull_iteration_bytes(
+    *,
+    num_vertices: int,
+    num_parts: int,
+    discovered_next: int,
+    wire_bytes: int,
+) -> int:
+    """Host-link bytes of one pull-offload iteration.
+
+    Bitmap broadcast to each memory node + one update per discovery.
+    """
+    bitmap = int(np.ceil(num_vertices / 8))
+    return bitmap * num_parts + wire_bytes * discovered_next
+
+
+@dataclass(frozen=True)
+class DirectionProfile:
+    """Per-iteration byte costs of the four (direction x placement) modes."""
+
+    iterations: int
+    push_offload: np.ndarray  # measured by the simulator
+    pull_offload: np.ndarray  # analytic
+    push_fetch: np.ndarray  # measured (edge fetch)
+    pull_fetch: np.ndarray  # analytic (in-edge fetch of candidates)
+    frontier: np.ndarray
+    discovered: np.ndarray
+
+    def best_mode_per_iteration(self) -> List[str]:
+        """Cheapest of the four modes per iteration."""
+        stack = {
+            "push-offload": self.push_offload,
+            "pull-offload": self.pull_offload,
+            "push-fetch": self.push_fetch,
+            "pull-fetch": self.pull_fetch,
+        }
+        out = []
+        for i in range(self.iterations):
+            out.append(min(stack, key=lambda k: stack[k][i]))
+        return out
+
+    def adaptive_total(self) -> int:
+        """Total bytes picking the best mode each iteration."""
+        return int(
+            np.minimum.reduce(
+                [self.push_offload, self.pull_offload, self.push_fetch, self.pull_fetch]
+            ).sum()
+        )
+
+    def totals(self) -> dict:
+        """Whole-run totals per fixed mode plus the adaptive envelope."""
+        return {
+            "push-offload": int(self.push_offload.sum()),
+            "pull-offload": int(self.pull_offload.sum()),
+            "push-fetch": int(self.push_fetch.sum()),
+            "pull-fetch": int(self.pull_fetch.sum()),
+            "adaptive": self.adaptive_total(),
+        }
+
+
+def direction_profile(
+    graph: CSRGraph,
+    levels: np.ndarray,
+    kernel: VertexProgram,
+    *,
+    num_parts: int,
+    push_offload_bytes: Optional[np.ndarray] = None,
+    push_fetch_bytes: Optional[np.ndarray] = None,
+) -> DirectionProfile:
+    """Build the direction profile for a finished BFS-style run.
+
+    Parameters
+    ----------
+    levels:
+        per-vertex discovery level (-1 = unreached) from the run.
+    push_offload_bytes / push_fetch_bytes:
+        measured per-iteration bytes from simulator runs; when omitted they
+        are recomputed analytically (exact for the request+payload and
+        push-pair formulas on a 1-D partition by hash of vertex id — pass
+        the measured arrays for other partitionings).
+    """
+    levels = np.asarray(levels)
+    if levels.shape != (graph.num_vertices,):
+        raise ReproError(
+            f"levels must have shape ({graph.num_vertices},), got {levels.shape}"
+        )
+    max_level = int(levels.max()) if (levels >= 0).any() else -1
+    iterations = max_level  # iteration t discovers level t+1
+    if iterations < 1:
+        raise ReproError("run discovered nothing; no iterations to profile")
+
+    n = graph.num_vertices
+    wire = kernel.message.wire_bytes
+    in_deg = graph.in_degrees
+    out_deg = graph.out_degrees
+
+    frontier_sizes = np.zeros(iterations, dtype=np.int64)
+    discovered = np.zeros(iterations, dtype=np.int64)
+    pull_fetch = np.zeros(iterations, dtype=np.int64)
+    pull_off = np.zeros(iterations, dtype=np.int64)
+    push_fetch = np.zeros(iterations, dtype=np.int64)
+
+    for t in range(iterations):
+        frontier_mask = levels == t
+        candidates_mask = (levels > t) | (levels < 0)  # undiscovered at t
+        frontier_sizes[t] = int(frontier_mask.sum())
+        discovered[t] = int((levels == t + 1).sum())
+        # pull-fetch: hosts request + fetch the candidates' in-edge lists.
+        cand_in_edges = int(in_deg[candidates_mask].sum())
+        pull_fetch[t] = VERTEX_ID_BYTES * int(candidates_mask.sum()) + 8 * cand_in_edges
+        pull_off[t] = pull_iteration_bytes(
+            num_vertices=n,
+            num_parts=num_parts,
+            discovered_next=int(discovered[t]),
+            wire_bytes=wire,
+        )
+        # push-fetch (analytic fallback): request + frontier out-edges.
+        push_fetch[t] = (
+            VERTEX_ID_BYTES * frontier_sizes[t]
+            + 8 * int(out_deg[frontier_mask].sum())
+        )
+
+    if push_fetch_bytes is not None:
+        push_fetch = np.asarray(push_fetch_bytes[:iterations], dtype=np.int64)
+    if push_offload_bytes is not None:
+        push_off = np.asarray(push_offload_bytes[:iterations], dtype=np.int64)
+    else:
+        # Upper bound: every frontier out-edge yields a partial update pair.
+        from repro.runtime.cost_model import frontier_push_bytes
+
+        push_off = np.zeros(iterations, dtype=np.int64)
+        for t in range(iterations):
+            frontier_mask = levels == t
+            edges = int(out_deg[frontier_mask].sum())
+            push_off[t] = frontier_push_bytes(
+                kernel,
+                int(frontier_sizes[t]),
+                num_vertices=n,
+                num_parts=num_parts,
+            ) + wire * min(edges, n * num_parts)
+
+    return DirectionProfile(
+        iterations=iterations,
+        push_offload=push_off,
+        pull_offload=pull_off,
+        push_fetch=push_fetch,
+        pull_fetch=pull_fetch,
+        frontier=frontier_sizes,
+        discovered=discovered,
+    )

@@ -1,0 +1,32 @@
+"""Architecture simulators: distributed, distributed-NDP, disaggregated,
+and disaggregated-NDP (this work) — Table II's four rows."""
+
+from repro.arch.base import ArchitectureSimulator
+from repro.arch.engine import IterationProfile, execute_iteration, prepare_graph
+from repro.arch.results import IterationStats, RunResult
+from repro.arch.distributed import DistributedSimulator
+from repro.arch.distributed_ndp import DistributedNDPSimulator
+from repro.arch.disaggregated import DisaggregatedSimulator
+from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
+from repro.arch.compare import ArchitectureComparison, compare_architectures
+from repro.arch.energy import EnergyBreakdown, estimate_run_energy
+from repro.arch.registry import get_architecture, list_architectures
+
+__all__ = [
+    "ArchitectureSimulator",
+    "IterationProfile",
+    "execute_iteration",
+    "prepare_graph",
+    "IterationStats",
+    "RunResult",
+    "DistributedSimulator",
+    "DistributedNDPSimulator",
+    "DisaggregatedSimulator",
+    "DisaggregatedNDPSimulator",
+    "ArchitectureComparison",
+    "compare_architectures",
+    "EnergyBreakdown",
+    "estimate_run_energy",
+    "get_architecture",
+    "list_architectures",
+]

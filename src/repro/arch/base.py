@@ -1,0 +1,207 @@
+"""Architecture simulator base: shared run loop and accounting context.
+
+A simulator executes a kernel iteration-by-iteration through the shared
+engine (identical numerics everywhere) and translates each iteration's
+structural profile into movement bytes and modeled phase times according to
+its architecture's placement rules.  Subclasses implement a single hook,
+:meth:`ArchitectureSimulator._account`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.kernels.base import KernelState, VertexProgram
+from repro.net.topology import ClusterTopology
+from repro.partition.base import PartitionAssignment, Partitioner
+from repro.partition.mirrors import MirrorTable, build_mirror_table
+from repro.partition.random_hash import HashPartitioner
+from repro.arch.engine import (
+    IterationProfile,
+    execute_iteration,
+    prepare_graph,
+)
+from repro.arch.results import IterationStats, RunResult
+from repro.runtime.config import SystemConfig
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class RunContext:
+    """Everything the per-iteration accounting hook needs."""
+
+    graph: CSRGraph
+    kernel: VertexProgram
+    assignment: PartitionAssignment
+    mirror_table: Optional[MirrorTable]
+    mirrors_per_vertex: Optional[np.ndarray]
+    topology: ClusterTopology
+    config: SystemConfig
+    result: RunResult
+
+
+class ArchitectureSimulator(abc.ABC):
+    """Base class for the four Table II architectures."""
+
+    #: registry name, e.g. ``"disaggregated-ndp"``
+    name: str = "abstract"
+    #: Table II columns (class-level, architecture-intrinsic)
+    has_near_memory_acceleration: bool = False
+    is_disaggregated: bool = False
+    #: whether the run loop should track master/mirror structures
+    needs_mirrors: bool = False
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        graph: CSRGraph,
+        kernel: VertexProgram,
+        *,
+        partitioner: Optional[Partitioner] = None,
+        assignment: Optional[PartitionAssignment] = None,
+        source: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        graph_name: str = "graph",
+        seed: SeedLike = 0,
+    ) -> RunResult:
+        """Execute ``kernel`` on ``graph`` under this architecture.
+
+        Parameters
+        ----------
+        partitioner / assignment:
+            how the graph is spread over the partition nodes; pass one or
+            neither (default: hash partitioning).  An explicit assignment
+            must cover the *prepared* graph (same vertex count as input).
+        source:
+            source vertex for rooted kernels (BFS/SSSP).
+        max_iterations:
+            cap overriding the kernel's own default.
+        """
+        if not kernel.supports_engine:
+            raise SimulationError(
+                f"kernel {kernel.name!r} is host-only and cannot run through "
+                "an architecture simulator"
+            )
+        prepared = prepare_graph(graph, kernel)
+        num_parts = self.num_partitions()
+        if assignment is None:
+            chooser = partitioner or HashPartitioner()
+            assignment = chooser.partition(prepared, num_parts, seed=seed)
+        elif assignment.num_vertices != prepared.num_vertices:
+            raise SimulationError(
+                "assignment does not cover the prepared graph "
+                f"({assignment.num_vertices} != {prepared.num_vertices})"
+            )
+        elif assignment.num_parts != num_parts:
+            raise SimulationError(
+                f"assignment has {assignment.num_parts} parts, architecture "
+                f"is configured for {num_parts}"
+            )
+
+        mirror_table = None
+        mirrors_per_vertex = None
+        if self.needs_mirrors:
+            mirror_table = build_mirror_table(prepared, assignment)
+            mirrors_per_vertex = mirror_table.mirrors_per_vertex()
+
+        result = RunResult(
+            architecture=self.name,
+            kernel=kernel.name,
+            graph_name=graph_name,
+            num_parts=num_parts,
+            num_compute_nodes=self.num_compute_nodes(),
+            kernel_program=kernel,
+        )
+        ctx = RunContext(
+            graph=prepared,
+            kernel=kernel,
+            assignment=assignment,
+            mirror_table=mirror_table,
+            mirrors_per_vertex=mirrors_per_vertex,
+            topology=self.config.topology(),
+            config=self.config,
+            result=result,
+        )
+
+        state = kernel.initial_state(prepared, source=source)
+        cap = max_iterations if max_iterations is not None else kernel.max_iterations
+        self._on_run_start(ctx, state)
+
+        for _ in range(cap):
+            if state.frontier.size == 0:
+                result.converged = True
+                break
+            profile = execute_iteration(
+                kernel,
+                state,
+                assignment,
+                mirrors_per_vertex=mirrors_per_vertex,
+            )
+            stats = self._account(profile, ctx)
+            result.iterations.append(stats)
+            if kernel.has_converged(state):
+                result.converged = True
+                break
+
+        state.converged = result.converged
+        result.final_state = state
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Architecture hooks
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _account(self, profile: IterationProfile, ctx: RunContext) -> IterationStats:
+        """Translate one iteration's profile into movement and timing."""
+
+    def _on_run_start(self, ctx: RunContext, state: KernelState) -> None:
+        """Optional per-run setup hook (e.g. initial graph distribution)."""
+
+    def num_partitions(self) -> int:
+        """Partition count for this architecture (= pool/cluster nodes)."""
+        return self.config.num_memory_nodes
+
+    def num_compute_nodes(self) -> int:
+        """Nodes that run the apply phase and synchronize."""
+        return self.config.num_compute_nodes
+
+    # ------------------------------------------------------------------ #
+    # Shared accounting helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _per_part_compute_seconds(
+        device, ops_per_part: np.ndarray, bytes_per_part: np.ndarray
+    ) -> float:
+        """Slowest node's time: compute + internal memory streaming."""
+        worst = 0.0
+        for ops, nbytes in zip(ops_per_part, bytes_per_part):
+            t = device.compute_seconds(float(ops)) + device.memory_seconds(
+                float(nbytes)
+            )
+            worst = max(worst, t)
+        return worst
+
+    def _host_shared_seconds(self, ops: float, nbytes: float) -> float:
+        """Time for work split evenly across the compute pool."""
+        hosts = self.num_compute_nodes()
+        device = self.config.host_device
+        return device.compute_seconds(ops / hosts) + device.memory_seconds(
+            nbytes / hosts
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(parts={self.num_partitions()})"

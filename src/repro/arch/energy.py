@@ -1,0 +1,83 @@
+"""Energy estimation for completed runs.
+
+Attributes each run's bytes and operations to the energy model's path
+classes: interconnect bytes (expensive), node-local DRAM, NDP-internal
+wires (cheap), host ops vs near-data ops.  First-order, like the
+accelerator papers' energy arguments (Graphicionado [8]): the point is the
+relative ordering of deployments, not absolute joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.results import RunResult
+from repro.hardware.energy import EnergyModel
+from repro.net.link import LinkClass
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules by category for one run."""
+
+    movement_joules: float
+    compute_joules: float
+    network_bytes: int
+    local_bytes: int
+    ndp_internal_bytes: int
+    host_ops: float
+    ndp_ops: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.movement_joules + self.compute_joules
+
+
+def estimate_run_energy(
+    run: RunResult, model: Optional[EnergyModel] = None
+) -> EnergyBreakdown:
+    """Estimate the energy of one completed architecture run.
+
+    Attribution rules: traversal ops follow the per-iteration offload flag
+    (near-data when offloaded, host otherwise); apply ops run near-data
+    only on the distributed-NDP architecture (GraphQ's apply units),
+    otherwise on the hosts.
+    """
+    m = model or EnergyModel()
+    ledger = run.ledger
+    # Energy is paid per link *segment* traversed.  The ledger records each
+    # logical transfer once: host-link records are end-to-end transfers
+    # through the switch (2 segments), memory-link records are the
+    # pre-aggregation fan-in leg only (1 segment).  This keeps INC's energy
+    # honest: aggregation removes the second segment of merged updates.
+    network = 2 * ledger.host_link_bytes() + ledger.bytes_for(
+        link=LinkClass.MEMORY_LINK
+    )
+    local = ledger.bytes_for(link=LinkClass.NODE_LOCAL)
+    internal = ledger.bytes_for(link=LinkClass.NDP_INTERNAL)
+
+    host_ops = 0.0
+    ndp_ops = 0.0
+    apply_near_data = run.architecture == "distributed-ndp"
+    for stats in run.iterations:
+        if stats.offloaded:
+            ndp_ops += stats.traverse_ops
+        else:
+            host_ops += stats.traverse_ops
+        if apply_near_data:
+            ndp_ops += stats.apply_ops
+        else:
+            host_ops += stats.apply_ops
+
+    movement = m.movement_joules(network, local, internal)
+    compute = 1e-12 * (host_ops * m.host_pj_per_op + ndp_ops * m.ndp_pj_per_op)
+    return EnergyBreakdown(
+        movement_joules=movement,
+        compute_joules=compute,
+        network_bytes=network,
+        local_bytes=local,
+        ndp_internal_bytes=internal,
+        host_ops=host_ops,
+        ndp_ops=ndp_ops,
+    )

@@ -1,0 +1,190 @@
+"""Shared numeric execution engine.
+
+All four architecture simulators drive one kernel iteration through this
+module, so their *results* are bit-identical; they differ only in how they
+account the movement and time of what happened here.  This mirrors the
+paper's prototype, which runs the real Galois computation while separately
+tracking how many bytes each deployment strategy would have moved.
+
+Besides executing the traverse → reduce → apply pipeline, the engine
+profiles the structural quantities the accounting models need: edges
+traversed per partition, distinct destinations per partition (``|D_p|``,
+the partial-update counts), the global distinct-destination set, and the
+per-destination fan-in histogram the switch model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import _gather
+from repro.kernels.base import KernelState, VertexProgram
+from repro.partition.base import PartitionAssignment
+
+
+@dataclass(frozen=True)
+class IterationProfile:
+    """Structural facts about one executed iteration (architecture-neutral)."""
+
+    iteration: int
+    frontier_size: int
+    edges_traversed: int
+    touched: np.ndarray  # distinct destinations (sorted)
+    changed: np.ndarray  # vertices whose property changed
+    frontier_per_part: np.ndarray  # |F ∩ V_p|
+    edges_per_part: np.ndarray  # Σ outdeg(F ∩ V_p)
+    pair_dst: np.ndarray  # distinct (dst, part): destination ids
+    pair_part: np.ndarray  # distinct (dst, part): source parts
+    partials_per_part: np.ndarray  # |D_p|
+    updates_per_destination: np.ndarray  # fan-in per distinct destination
+    changed_mirror_pairs: int  # Σ_{v in changed} #mirror parts of v
+
+    @property
+    def partial_update_pairs(self) -> int:
+        """Σ_p |D_p| — total partial updates shipped under NDP offload."""
+        return int(self.pair_dst.size)
+
+    @property
+    def distinct_destinations(self) -> int:
+        """|∪_p D_p| — updates after perfect in-network aggregation."""
+        return int(self.touched.size)
+
+    def cross_update_pairs(self, owner_of: np.ndarray) -> int:
+        """Pairs whose source part is not the destination's owner.
+
+        ``owner_of`` maps a vertex to the part owning its master — the
+        mirror→master update count of the distributed architectures.
+        """
+        if self.pair_dst.size == 0:
+            return 0
+        return int(np.count_nonzero(owner_of[self.pair_dst] != self.pair_part))
+
+
+def prepare_graph(graph: CSRGraph, kernel: VertexProgram) -> CSRGraph:
+    """Apply the kernel's structural requirements to the input graph."""
+    g = graph
+    if kernel.requires_symmetric:
+        g = g.symmetrized()
+    if kernel.uses_weights and not g.has_weights:
+        g = g.with_uniform_weights(1.0)
+    return g
+
+
+def execute_iteration(
+    kernel: VertexProgram,
+    state: KernelState,
+    assignment: PartitionAssignment,
+    *,
+    mirrors_per_vertex: Optional[np.ndarray] = None,
+) -> IterationProfile:
+    """Run one iteration and return its structural profile.
+
+    Mutates ``state`` (properties, frontier, iteration counter) through the
+    kernel's own hooks.
+    """
+    graph = state.graph
+    parts = assignment.parts
+    num_parts = assignment.num_parts
+    if parts.size != graph.num_vertices:
+        raise SimulationError(
+            f"partition covers {parts.size} vertices, graph has "
+            f"{graph.num_vertices}"
+        )
+
+    frontier = np.asarray(state.frontier, dtype=np.int64)
+    iteration = state.iteration
+
+    src, dst, weights = _gather_frontier_edges(graph, frontier)
+    edges_traversed = int(dst.size)
+
+    # ---- traverse + reduce ------------------------------------------- #
+    if edges_traversed:
+        values = kernel.edge_messages(state, src, dst, weights)
+        if values.shape != dst.shape:
+            raise SimulationError(
+                f"kernel {kernel.name!r} returned {values.shape} message values "
+                f"for {dst.shape} edges"
+            )
+        acc = np.full(graph.num_vertices, kernel.message.identity)
+        kernel.message.combine_at(acc, dst, values)
+        touched = np.unique(dst)
+        reduced = acc[touched]
+    else:
+        touched = np.empty(0, dtype=np.int64)
+        reduced = np.empty(0)
+
+    # ---- apply -------------------------------------------------------- #
+    changed = np.asarray(kernel.apply(state, touched, reduced), dtype=np.int64)
+
+    # ---- per-part structural profile ----------------------------------- #
+    frontier_per_part = np.bincount(
+        parts[frontier], minlength=num_parts
+    ).astype(np.int64) if frontier.size else np.zeros(num_parts, dtype=np.int64)
+    edges_per_part = np.bincount(
+        parts[src], minlength=num_parts
+    ).astype(np.int64) if edges_traversed else np.zeros(num_parts, dtype=np.int64)
+
+    if edges_traversed:
+        keys = dst * np.int64(num_parts) + parts[src]
+        uniq = np.unique(keys)
+        pair_dst = uniq // num_parts
+        pair_part = uniq % num_parts
+        partials_per_part = np.bincount(
+            pair_part, minlength=num_parts
+        ).astype(np.int64)
+        # touched is sorted and pair_dst is sorted by (dst, part), so the
+        # per-destination fan-in is a run-length count over pair_dst.
+        _, updates_per_destination = np.unique(pair_dst, return_counts=True)
+    else:
+        pair_dst = np.empty(0, dtype=np.int64)
+        pair_part = np.empty(0, dtype=np.int64)
+        partials_per_part = np.zeros(num_parts, dtype=np.int64)
+        updates_per_destination = np.empty(0, dtype=np.int64)
+
+    changed_mirror_pairs = 0
+    if mirrors_per_vertex is not None and changed.size:
+        changed_mirror_pairs = int(mirrors_per_vertex[changed].sum())
+
+    # ---- advance ------------------------------------------------------ #
+    state.frontier = np.asarray(
+        kernel.update_frontier(state, changed), dtype=np.int64
+    )
+    state.iteration = iteration + 1
+
+    return IterationProfile(
+        iteration=iteration,
+        frontier_size=int(frontier.size),
+        edges_traversed=edges_traversed,
+        touched=touched,
+        changed=changed,
+        frontier_per_part=frontier_per_part,
+        edges_per_part=edges_per_part,
+        pair_dst=pair_dst,
+        pair_part=pair_part,
+        partials_per_part=partials_per_part,
+        updates_per_destination=updates_per_destination,
+        changed_mirror_pairs=changed_mirror_pairs,
+    )
+
+
+def _gather_frontier_edges(
+    graph: CSRGraph, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All out-edges of the frontier as (src, dst, weight) arrays."""
+    if frontier.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0)
+    starts = graph.indptr[frontier]
+    lens = graph.indptr[frontier + 1] - starts
+    dst = _gather(graph.indices, starts, lens)
+    src = np.repeat(frontier, lens)
+    if graph.weights is not None:
+        weights = _gather(graph.weights, starts, lens)
+    else:
+        weights = np.ones(dst.size)
+    return src, dst, weights

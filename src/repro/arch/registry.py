@@ -1,0 +1,44 @@
+"""Name-based architecture lookup for experiment configs and the CLI."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.arch.base import ArchitectureSimulator
+from repro.arch.disaggregated import DisaggregatedSimulator
+from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
+from repro.arch.distributed import DistributedSimulator
+from repro.arch.distributed_ndp import DistributedNDPSimulator
+from repro.errors import ConfigError
+
+_REGISTRY: Dict[str, Type[ArchitectureSimulator]] = {
+    cls.name: cls
+    for cls in (
+        DistributedSimulator,
+        DistributedNDPSimulator,
+        DisaggregatedSimulator,
+        DisaggregatedNDPSimulator,
+    )
+}
+
+
+def list_architectures() -> Tuple[str, ...]:
+    """Registered architecture names (Table II order)."""
+    return (
+        "distributed",
+        "distributed-ndp",
+        "disaggregated",
+        "disaggregated-ndp",
+    )
+
+
+def get_architecture(name: str, *args: object, **kwargs: object) -> ArchitectureSimulator:
+    """Instantiate an architecture simulator by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown architecture {name!r}; available: "
+            f"{', '.join(list_architectures())}"
+        ) from None
+    return cls(*args, **kwargs)  # type: ignore[arg-type]

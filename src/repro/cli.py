@@ -1,0 +1,206 @@
+"""General workload runner CLI: ``repro-run`` / ``python -m repro.cli``.
+
+Runs one (graph, kernel, architecture) workload with full control over the
+deployment knobs and prints the per-iteration movement table; optionally
+writes the trace for offline analysis.
+
+Examples::
+
+    repro-run --dataset livejournal-sim --kernel pagerank
+    repro-run --dataset twitter7-sim --kernel cc \\
+        --arch disaggregated-ndp --parts 32 --policy dynamic
+    repro-run --dataset uk2005-sim --kernel bfs --source auto \\
+        --partitioner metis --trace-csv run.csv
+    repro-run --graph-file edges.txt --kernel sssp --source 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.arch.energy import estimate_run_energy
+from repro.arch.registry import get_architecture, list_architectures
+from repro.errors import ReproError
+from repro.graph import io as graph_io
+from repro.graph.datasets import list_datasets, load_dataset
+from repro.kernels.registry import get_kernel, list_kernels
+from repro.partition.registry import get_partitioner, list_partitioners
+from repro.runtime.config import SystemConfig
+from repro.runtime.offload import get_policy, list_policies
+from repro.telemetry.report import movement_table
+from repro.trace import trace_run, write_trace_csv, write_trace_jsonl
+from repro.utils.units import format_bytes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Run a graph workload on a simulated architecture.",
+    )
+    graph_group = parser.add_mutually_exclusive_group(required=True)
+    graph_group.add_argument(
+        "--dataset", choices=list_datasets(), help="paper-graph stand-in"
+    )
+    graph_group.add_argument(
+        "--graph-file", help="SNAP-style edge list file"
+    )
+    parser.add_argument(
+        "--tier", default="small", choices=("tiny", "small", "medium")
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--kernel", required=True, choices=list_kernels(), help="analytics kernel"
+    )
+    parser.add_argument(
+        "--source",
+        default=None,
+        help="source vertex for rooted kernels; 'auto' picks the max-degree vertex",
+    )
+    parser.add_argument(
+        "--arch",
+        default="disaggregated-ndp",
+        choices=list_architectures(),
+    )
+    parser.add_argument("--parts", type=int, default=8, help="memory/partition nodes")
+    parser.add_argument("--hosts", type=int, default=1, help="compute nodes")
+    parser.add_argument(
+        "--partitioner", default="hash", choices=list_partitioners()
+    )
+    parser.add_argument(
+        "--policy",
+        default="always",
+        choices=list_policies(),
+        help="offload policy (disaggregated-ndp only)",
+    )
+    parser.add_argument("--inc", action="store_true", help="enable in-network aggregation")
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run all four architectures and print the Table II-style comparison",
+    )
+    parser.add_argument("--max-iterations", type=int, default=None)
+    parser.add_argument("--trace-csv", default=None, help="write per-iteration trace CSV")
+    parser.add_argument("--trace-jsonl", default=None, help="write per-iteration trace JSONL")
+    parser.add_argument("--energy", action="store_true", help="print the energy estimate")
+    parser.add_argument(
+        "--quiet", action="store_true", help="summary line only, no iteration table"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph, spec = load_dataset(args.dataset, tier=args.tier, seed=args.seed)
+        graph_name = spec.name
+    else:
+        weighted = args.kernel in ("sssp", "widest-path")
+        graph = graph_io.read_edge_list(args.graph_file, weighted=False)
+        if weighted:
+            graph = graph.with_uniform_weights(1.0)
+        graph_name = args.graph_file
+
+    kernel = get_kernel(args.kernel)
+    source = None
+    if kernel.needs_source:
+        if args.source is None:
+            print(
+                f"error: kernel {args.kernel!r} needs --source (or 'auto')",
+                file=sys.stderr,
+            )
+            return 2
+        source = (
+            int(graph.out_degrees.argmax())
+            if args.source == "auto"
+            else int(args.source)
+        )
+
+    if not kernel.supports_engine:
+        # Host-only kernels (triangles, betweenness, scc) cannot offload;
+        # run them host-side and report the result summary.
+        state = kernel.run_host(graph)
+        values = kernel.result(state)
+        print(
+            f"host-only kernel {kernel.name!r} on {graph_name}: computed "
+            f"{values.size} values (min {values.min()}, max {values.max()})"
+        )
+        return 0
+
+    config = SystemConfig(
+        num_compute_nodes=args.hosts,
+        num_memory_nodes=args.parts,
+        enable_inc=args.inc,
+    )
+    if args.compare:
+        from repro.arch.compare import compare_architectures
+
+        comparison = compare_architectures(
+            graph,
+            kernel,
+            config=config,
+            partitioner=get_partitioner(args.partitioner),
+            source=source,
+            max_iterations=args.max_iterations,
+            graph_name=graph_name,
+            seed=args.seed,
+        )
+        print(comparison.as_table())
+        return 0
+
+    if args.arch == "disaggregated-ndp":
+        simulator = get_architecture(
+            args.arch, config, policy=get_policy(args.policy)
+        )
+    else:
+        simulator = get_architecture(args.arch, config)
+
+    run = simulator.run(
+        graph,
+        kernel,
+        partitioner=get_partitioner(args.partitioner),
+        source=source,
+        max_iterations=args.max_iterations,
+        graph_name=graph_name,
+        seed=args.seed,
+    )
+
+    if not args.quiet:
+        print(run.summary_table())
+        print()
+        print(movement_table(run.ledger))
+        print()
+    status = "converged" if run.converged else "iteration cap reached"
+    print(
+        f"{run.architecture} / {run.kernel} on {graph_name}: "
+        f"{run.num_iterations} iterations ({status}), "
+        f"{format_bytes(run.total_host_link_bytes)} moved, "
+        f"modeled time {run.total_seconds * 1e3:.3f} ms"
+    )
+    if args.energy:
+        breakdown = estimate_run_energy(run)
+        print(
+            f"energy: {breakdown.total_joules * 1e3:.4f} mJ "
+            f"(movement {breakdown.movement_joules * 1e3:.4f}, "
+            f"compute {breakdown.compute_joules * 1e3:.4f})"
+        )
+    if args.trace_csv:
+        write_trace_csv(trace_run(run), args.trace_csv)
+        print(f"trace written to {args.trace_csv}")
+    if args.trace_jsonl:
+        write_trace_jsonl(trace_run(run), args.trace_jsonl)
+        print(f"trace written to {args.trace_jsonl}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

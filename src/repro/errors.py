@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or graph construction failure."""
+
+
+class GraphFormatError(GraphError):
+    """A graph file or serialized payload could not be parsed."""
+
+
+class PartitionError(ReproError):
+    """Invalid partition request or inconsistent partition assignment."""
+
+
+class KernelError(ReproError):
+    """Misconfigured or misbehaving analytics kernel."""
+
+
+class CapabilityError(ReproError):
+    """An operation was offloaded to a device that cannot execute it."""
+
+
+class ConfigError(ReproError):
+    """Invalid system/architecture configuration."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected while simulating an execution."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with invalid parameters."""

@@ -1,0 +1,42 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: render-ready tables plus raw series."""
+
+    experiment_id: str
+    title: str
+    tables: List[TextTable] = field(default_factory=list)
+    charts: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full text report: tables, then ASCII charts, then notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        for chart in self.charts:
+            parts.append(chart)
+            parts.append("")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts).rstrip() + "\n"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+#: Default tier for experiment runs; benches may pass ``tier="tiny"`` to
+#: keep CI fast.
+DEFAULT_TIER = "small"
+DEFAULT_SEED = 7

@@ -1,0 +1,94 @@
+"""Experiment CLI: ``python -m repro.experiments`` / ``repro-experiments``.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run fig5
+    repro-experiments run fig6 --tier tiny
+    repro-experiments run all --json out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments import ALL_EXPERIMENTS
+from repro.telemetry.report import to_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id or 'all'")
+    run_p.add_argument(
+        "--tier",
+        default="small",
+        choices=("tiny", "small", "medium"),
+        help="dataset size tier",
+    )
+    run_p.add_argument("--seed", type=int, default=7, help="dataset seed")
+    run_p.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write <DIR>/<experiment>.json with the raw series",
+    )
+    return parser
+
+
+def run_experiment(
+    experiment_id: str, *, tier: str = "small", seed: int = 7, json_dir: Optional[str] = None
+) -> str:
+    """Run one experiment and return its rendered report."""
+    try:
+        fn = ALL_EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(sorted(ALL_EXPERIMENTS))}"
+        ) from None
+    if experiment_id == "table1":
+        result = fn()  # type: ignore[call-arg]
+    else:
+        result = fn(tier=tier, seed=seed)  # type: ignore[call-arg]
+    if json_dir:
+        out = Path(json_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{experiment_id}.json").write_text(to_json(result.data))
+    return result.render()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(ALL_EXPERIMENTS):
+            print(name)
+        return 0
+    targets = (
+        sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for target in targets:
+        try:
+            report = run_experiment(
+                target, tier=args.tier, seed=args.seed, json_dir=args.json
+            )
+        except ExperimentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

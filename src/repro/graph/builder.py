@@ -1,0 +1,147 @@
+"""Incremental graph construction.
+
+:class:`GraphBuilder` buffers edges in growable chunks and materializes a
+:class:`~repro.graph.csr.CSRGraph` once, amortizing NumPy allocation; it is
+the path used by file loaders and generators that cannot produce full edge
+arrays in one shot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+_CHUNK = 1 << 16
+
+
+class GraphBuilder:
+    """Accumulate edges and build a CSR graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        optional fixed vertex count; inferred from edge ids when omitted.
+    weighted:
+        when true every edge must carry a weight; when false none may.
+    """
+
+    def __init__(self, num_vertices: Optional[int] = None, *, weighted: bool = False) -> None:
+        if num_vertices is not None and num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._num_vertices = num_vertices
+        self._weighted = weighted
+        self._src_chunks: list[np.ndarray] = []
+        self._dst_chunks: list[np.ndarray] = []
+        self._w_chunks: list[np.ndarray] = []
+        self._src_buf = np.empty(_CHUNK, dtype=np.int64)
+        self._dst_buf = np.empty(_CHUNK, dtype=np.int64)
+        self._w_buf = np.empty(_CHUNK, dtype=np.float64)
+        self._fill = 0
+        self._count = 0
+
+    @property
+    def num_buffered_edges(self) -> int:
+        """Edges added so far."""
+        return self._count
+
+    @property
+    def weighted(self) -> bool:
+        return self._weighted
+
+    def add_edge(self, src: int, dst: int, weight: Optional[float] = None) -> None:
+        """Append one directed edge."""
+        if src < 0 or dst < 0:
+            raise GraphError(f"vertex ids must be >= 0, got ({src}, {dst})")
+        if self._weighted and weight is None:
+            raise GraphError("builder is weighted; every edge needs a weight")
+        if not self._weighted and weight is not None:
+            raise GraphError("builder is unweighted; edge weight not allowed")
+        if self._fill == _CHUNK:
+            self._flush()
+        self._src_buf[self._fill] = src
+        self._dst_buf[self._fill] = dst
+        if self._weighted:
+            self._w_buf[self._fill] = weight
+        self._fill += 1
+        self._count += 1
+
+    def add_edges(
+        self,
+        src: Sequence[int] | np.ndarray,
+        dst: Sequence[int] | np.ndarray,
+        weights: Optional[Sequence[float] | np.ndarray] = None,
+    ) -> None:
+        """Append arrays of edges at once (vectorized fast path)."""
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.size != dst.size:
+            raise GraphError("src and dst must have equal length")
+        if self._weighted:
+            if weights is None:
+                raise GraphError("builder is weighted; add_edges needs weights")
+            weights = np.asarray(weights, dtype=np.float64).ravel()
+            if weights.size != src.size:
+                raise GraphError("weights length must match edge count")
+        elif weights is not None:
+            raise GraphError("builder is unweighted; weights not allowed")
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise GraphError("vertex ids must be >= 0")
+        self._flush()
+        self._src_chunks.append(src.copy())
+        self._dst_chunks.append(dst.copy())
+        if self._weighted:
+            self._w_chunks.append(np.asarray(weights, dtype=np.float64).copy())
+        self._count += src.size
+
+    def add_edge_pairs(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Append an iterable of ``(src, dst)`` pairs."""
+        for u, v in pairs:
+            self.add_edge(u, v)
+
+    def build(self, *, dedup: bool = False, sort_neighbors: bool = True) -> CSRGraph:
+        """Materialize the CSR graph; the builder stays reusable afterwards."""
+        self._flush()
+        if self._src_chunks:
+            src = np.concatenate(self._src_chunks)
+            dst = np.concatenate(self._dst_chunks)
+            w = np.concatenate(self._w_chunks) if self._weighted else None
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+            w = np.empty(0, dtype=np.float64) if self._weighted else None
+        return CSRGraph.from_edges(
+            src,
+            dst,
+            self._num_vertices,
+            w,
+            dedup=dedup,
+            sort_neighbors=sort_neighbors,
+        )
+
+    def _flush(self) -> None:
+        if self._fill:
+            self._src_chunks.append(self._src_buf[: self._fill].copy())
+            self._dst_chunks.append(self._dst_buf[: self._fill].copy())
+            if self._weighted:
+                self._w_chunks.append(self._w_buf[: self._fill].copy())
+            self._fill = 0
+
+
+def from_edge_array(
+    edges: np.ndarray,
+    num_vertices: Optional[int] = None,
+    *,
+    weights: Optional[np.ndarray] = None,
+    dedup: bool = False,
+) -> CSRGraph:
+    """Build a graph from an ``(m, 2)`` edge array."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise GraphError(f"edges must have shape (m, 2), got {edges.shape}")
+    return CSRGraph.from_edges(
+        edges[:, 0], edges[:, 1], num_vertices, weights, dedup=dedup
+    )

@@ -1,0 +1,261 @@
+"""Synthetic graph generators.
+
+These supply the workloads for the reproduction: skewed power-law graphs
+standing in for the paper's web/social graphs (RMAT, Barabási–Albert) and
+structured/regular graphs for unit testing.  All generators are seeded and
+fully vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    *,
+    seed: SeedLike = None,
+    dedup: bool = True,
+    self_loops: bool = False,
+    weighted: bool = False,
+) -> CSRGraph:
+    """Recursive-MATrix (Kronecker) generator, the Graph500 workhorse.
+
+    Produces ``2**scale`` vertices and ``edge_factor * 2**scale`` directed
+    edges with a heavy-tailed degree distribution — the stand-in family for
+    the paper's twitter7/uk-2005 graphs.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the vertex count.
+    edge_factor:
+        edges generated per vertex (before dedup).
+    a, b, c:
+        RMAT quadrant probabilities; the fourth is ``1 - a - b - c``.
+        Larger ``a`` means more skew.
+    """
+    if scale < 0 or scale > 30:
+        raise GraphError(f"scale must be in [0, 30], got {scale}")
+    if edge_factor < 0:
+        raise GraphError(f"edge_factor must be >= 0, got {edge_factor}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or max(a, b, c, d) > 1:
+        raise GraphError(f"invalid RMAT probabilities a={a} b={b} c={c} (d={d})")
+
+    rng = ensure_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # Each bit of the vertex id is drawn independently per level (standard
+    # vectorized RMAT: quadrant choice per level for all edges at once).
+    ab = a + b
+    a_norm = a / ab if ab > 0 else 0.0
+    c_norm = c / (c + d) if (c + d) > 0 else 0.0
+    for level in range(scale):
+        bit = np.int64(1) << level
+        go_down = rng.random(m) > ab  # lower half for src
+        src += bit * go_down
+        right_prob = np.where(go_down, c_norm, a_norm)
+        go_right = rng.random(m) > right_prob
+        dst += bit * go_right
+    if not self_loops:
+        loops = src == dst
+        # Rehash loop destinations instead of dropping, keeping m stable.
+        dst[loops] = (dst[loops] + 1 + rng.integers(0, max(n - 1, 1), loops.sum())) % n
+        still = src == dst
+        dst[still] = (dst[still] + 1) % n if n > 1 else dst[still]
+    weights = rng.uniform(1.0, 10.0, m) if weighted else None
+    return CSRGraph.from_edges(src, dst, n, weights, dedup=dedup)
+
+
+def erdos_renyi(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    seed: SeedLike = None,
+    dedup: bool = True,
+    self_loops: bool = False,
+    weighted: bool = False,
+) -> CSRGraph:
+    """G(n, m) uniform random directed graph."""
+    if num_vertices < 0:
+        raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+    if num_edges < 0:
+        raise GraphError(f"num_edges must be >= 0, got {num_edges}")
+    if num_edges > 0 and num_vertices == 0:
+        raise GraphError("cannot place edges in an empty graph")
+    rng = ensure_rng(seed)
+    src = rng.integers(0, num_vertices, num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, num_edges, dtype=np.int64)
+    if not self_loops and num_vertices > 1:
+        loops = src == dst
+        dst[loops] = (dst[loops] + 1 + rng.integers(0, num_vertices - 1, loops.sum())) % num_vertices
+    weights = rng.uniform(1.0, 10.0, num_edges) if weighted else None
+    return CSRGraph.from_edges(src, dst, num_vertices, weights, dedup=dedup)
+
+
+def barabasi_albert(
+    num_vertices: int,
+    attach: int,
+    *,
+    seed: SeedLike = None,
+    directed: bool = True,
+    weighted: bool = False,
+) -> CSRGraph:
+    """Preferential-attachment power-law graph.
+
+    Each new vertex attaches to ``attach`` existing vertices chosen
+    proportionally to degree (implemented with the repeated-endpoints trick,
+    vectorized per arriving vertex).
+    """
+    if attach < 1:
+        raise GraphError(f"attach must be >= 1, got {attach}")
+    if num_vertices < attach + 1:
+        raise GraphError(
+            f"need num_vertices > attach, got {num_vertices} <= {attach}"
+        )
+    rng = ensure_rng(seed)
+    # Endpoint pool: every edge endpoint appears once, giving degree-
+    # proportional sampling when drawing uniformly from the pool.
+    total_edges = (num_vertices - attach) * attach
+    src = np.empty(total_edges, dtype=np.int64)
+    dst = np.empty(total_edges, dtype=np.int64)
+    pool = np.empty(2 * total_edges + attach, dtype=np.int64)
+    pool[:attach] = np.arange(attach)
+    pool_fill = attach
+    k = 0
+    for v in range(attach, num_vertices):
+        picks = rng.choice(pool[:pool_fill], size=attach, replace=False) if pool_fill >= attach else pool[:pool_fill]
+        picks = np.unique(picks)
+        extra = attach - picks.size
+        if extra > 0:
+            candidates = np.setdiff1d(np.arange(v), picks, assume_unique=False)
+            picks = np.concatenate([picks, rng.choice(candidates, size=extra, replace=False)])
+        cnt = picks.size
+        src[k : k + cnt] = v
+        dst[k : k + cnt] = picks
+        pool[pool_fill : pool_fill + cnt] = picks
+        pool[pool_fill + cnt : pool_fill + 2 * cnt] = v
+        pool_fill += 2 * cnt
+        k += cnt
+    src, dst = src[:k], dst[:k]
+    if not directed:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    weights = ensure_rng(rng).uniform(1.0, 10.0, src.size) if weighted else None
+    return CSRGraph.from_edges(src, dst, num_vertices, weights, dedup=True)
+
+
+def watts_strogatz(
+    num_vertices: int,
+    k: int,
+    rewire_prob: float,
+    *,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Small-world ring lattice with random rewiring (undirected, symmetrized)."""
+    if k % 2 or k < 2:
+        raise GraphError(f"k must be even and >= 2, got {k}")
+    if num_vertices <= k:
+        raise GraphError(f"need num_vertices > k, got {num_vertices} <= {k}")
+    if not 0.0 <= rewire_prob <= 1.0:
+        raise GraphError(f"rewire_prob must be in [0, 1], got {rewire_prob}")
+    rng = ensure_rng(seed)
+    base = np.arange(num_vertices, dtype=np.int64)
+    srcs, dsts = [], []
+    for offset in range(1, k // 2 + 1):
+        dst = (base + offset) % num_vertices
+        rewire = rng.random(num_vertices) < rewire_prob
+        dst[rewire] = rng.integers(0, num_vertices, rewire.sum())
+        keep = dst != base
+        srcs.append(base[keep])
+        dsts.append(dst[keep])
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    return CSRGraph.from_edges(
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        num_vertices,
+        dedup=True,
+    )
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """2-D 4-neighbor grid (undirected, symmetrized)."""
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid dims must be >= 1, got {rows}x{cols}")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_s, right_d = ids[:, :-1].ravel(), ids[:, 1:].ravel()
+    down_s, down_d = ids[:-1, :].ravel(), ids[1:, :].ravel()
+    src = np.concatenate([right_s, down_s, right_d, down_d])
+    dst = np.concatenate([right_d, down_d, right_s, down_s])
+    return CSRGraph.from_edges(src, dst, rows * cols)
+
+
+def ring_graph(num_vertices: int, *, directed: bool = False) -> CSRGraph:
+    """Cycle on ``num_vertices`` vertices."""
+    if num_vertices < 1:
+        raise GraphError(f"num_vertices must be >= 1, got {num_vertices}")
+    base = np.arange(num_vertices, dtype=np.int64)
+    nxt = (base + 1) % num_vertices
+    if directed:
+        return CSRGraph.from_edges(base, nxt, num_vertices)
+    return CSRGraph.from_edges(
+        np.concatenate([base, nxt]), np.concatenate([nxt, base]), num_vertices, dedup=True
+    )
+
+
+def path_graph(num_vertices: int, *, directed: bool = False) -> CSRGraph:
+    """Simple path 0-1-...-(n-1)."""
+    if num_vertices < 1:
+        raise GraphError(f"num_vertices must be >= 1, got {num_vertices}")
+    base = np.arange(num_vertices - 1, dtype=np.int64)
+    if directed:
+        return CSRGraph.from_edges(base, base + 1, num_vertices)
+    return CSRGraph.from_edges(
+        np.concatenate([base, base + 1]),
+        np.concatenate([base + 1, base]),
+        num_vertices,
+    )
+
+
+def star_graph(num_leaves: int, *, directed_out: bool = True) -> CSRGraph:
+    """Hub vertex 0 connected to ``num_leaves`` leaves.
+
+    With ``directed_out`` the hub points at every leaf — the degenerate
+    high-skew shape that stresses partitioners and mirrors.
+    """
+    if num_leaves < 0:
+        raise GraphError(f"num_leaves must be >= 0, got {num_leaves}")
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    hub = np.zeros(num_leaves, dtype=np.int64)
+    if directed_out:
+        return CSRGraph.from_edges(hub, leaves, num_leaves + 1)
+    return CSRGraph.from_edges(
+        np.concatenate([hub, leaves]),
+        np.concatenate([leaves, hub]),
+        num_leaves + 1,
+    )
+
+
+def complete_graph(num_vertices: int, *, self_loops: bool = False) -> CSRGraph:
+    """Complete directed graph."""
+    if num_vertices < 0:
+        raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+    src = np.repeat(np.arange(num_vertices, dtype=np.int64), num_vertices)
+    dst = np.tile(np.arange(num_vertices, dtype=np.int64), num_vertices)
+    if not self_loops:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    return CSRGraph.from_edges(src, dst, num_vertices)

@@ -1,0 +1,233 @@
+"""Graph serialization: whitespace edge lists, METIS format, and NPZ.
+
+The edge-list reader accepts the SNAP/SuiteSparse convention used by the
+paper's datasets (``#`` comments, one ``src dst [weight]`` pair per line), so
+a user with the real Twitter7/UK-2005 files can drop them in directly.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    num_vertices: Optional[int] = None,
+    comments: str = "#",
+    weighted: bool = False,
+    dedup: bool = False,
+) -> CSRGraph:
+    """Read a SNAP-style whitespace edge list file."""
+    text = Path(path).read_text()
+    return parse_edge_list(
+        text, num_vertices=num_vertices, comments=comments, weighted=weighted, dedup=dedup
+    )
+
+
+def parse_edge_list(
+    text: str,
+    *,
+    num_vertices: Optional[int] = None,
+    comments: str = "#",
+    weighted: bool = False,
+    dedup: bool = False,
+) -> CSRGraph:
+    """Parse edge-list text (see :func:`read_edge_list`)."""
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    w_list: list[float] = []
+    for lineno, raw in enumerate(_io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith(comments):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"line {lineno}: expected 'src dst', got {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphFormatError(f"line {lineno}: non-integer vertex id in {line!r}") from exc
+        src_list.append(u)
+        dst_list.append(v)
+        if weighted:
+            if len(parts) < 3:
+                raise GraphFormatError(f"line {lineno}: missing weight in {line!r}")
+            try:
+                w_list.append(float(parts[2]))
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: bad weight in {line!r}") from exc
+    weights = np.asarray(w_list) if weighted else None
+    return CSRGraph.from_edges(
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        num_vertices,
+        weights,
+        dedup=dedup,
+    )
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike, *, header: bool = True) -> None:
+    """Write a SNAP-style edge list (weights included when present)."""
+    src, dst = graph.edge_array()
+    lines = []
+    if header:
+        lines.append(f"# repro graph: {graph.num_vertices} vertices {graph.num_edges} edges")
+    if graph.weights is not None:
+        for u, v, w in zip(src.tolist(), dst.tolist(), graph.weights.tolist()):
+            lines.append(f"{u} {v} {w:g}")
+    else:
+        for u, v in zip(src.tolist(), dst.tolist()):
+            lines.append(f"{u} {v}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Save a graph to a compressed ``.npz`` (the fast round-trip format)."""
+    payload = {"indptr": graph.indptr, "indices": graph.indices}
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        if "indptr" not in data or "indices" not in data:
+            raise GraphFormatError(f"{path}: not a repro graph npz (missing arrays)")
+        weights = data["weights"] if "weights" in data else None
+        return CSRGraph(data["indptr"], data["indices"], weights)
+
+
+def read_matrix_market(path: PathLike, *, dedup: bool = False) -> CSRGraph:
+    """Read a MatrixMarket ``.mtx`` coordinate file as a directed graph.
+
+    SuiteSparse distributes the paper's datasets (Twitter7, UK-2005,
+    com-LiveJournal, wiki-Talk) in this format.  ``symmetric`` matrices are
+    expanded to both edge directions; entry values (weights) are kept when
+    present.  Indices are 1-based per the format.
+    """
+    lines = Path(path).read_text().splitlines()
+    if not lines or not lines[0].startswith("%%MatrixMarket"):
+        raise GraphFormatError(f"{path}: missing MatrixMarket header")
+    header = lines[0].split()
+    if len(header) < 4 or header[1] != "matrix" or header[2] != "coordinate":
+        raise GraphFormatError(
+            f"{path}: only 'matrix coordinate' MatrixMarket files are supported"
+        )
+    symmetric = "symmetric" in header
+    pattern = "pattern" in header
+
+    body = [ln for ln in lines[1:] if ln.strip() and not ln.lstrip().startswith("%")]
+    if not body:
+        raise GraphFormatError(f"{path}: missing size line")
+    size = body[0].split()
+    if len(size) < 3:
+        raise GraphFormatError(f"{path}: bad size line {body[0]!r}")
+    rows, cols, nnz = int(size[0]), int(size[1]), int(size[2])
+    n = max(rows, cols)
+    if len(body) - 1 != nnz:
+        raise GraphFormatError(
+            f"{path}: size line declares {nnz} entries, file has {len(body) - 1}"
+        )
+    src = np.empty(nnz, dtype=np.int64)
+    dst = np.empty(nnz, dtype=np.int64)
+    weights = None if pattern else np.empty(nnz, dtype=np.float64)
+    for i, line in enumerate(body[1:]):
+        parts = line.split()
+        if len(parts) < 2 or (not pattern and len(parts) < 3):
+            raise GraphFormatError(f"{path}: bad entry {line!r}")
+        try:
+            src[i] = int(parts[0]) - 1
+            dst[i] = int(parts[1]) - 1
+            if weights is not None:
+                weights[i] = float(parts[2])
+        except ValueError as exc:
+            raise GraphFormatError(f"{path}: bad entry {line!r}") from exc
+    if src.size and (src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n):
+        raise GraphFormatError(f"{path}: entry index out of declared bounds")
+    if symmetric:
+        off_diag = src != dst
+        mirror_src, mirror_dst = dst[off_diag], src[off_diag]
+        src = np.concatenate([src, mirror_src])
+        dst = np.concatenate([dst, mirror_dst])
+        if weights is not None:
+            weights = np.concatenate([weights, weights[off_diag]])
+    return CSRGraph.from_edges(src, dst, n, weights, dedup=dedup)
+
+
+def write_matrix_market(graph: CSRGraph, path: PathLike) -> None:
+    """Write a directed graph as a general coordinate ``.mtx`` file."""
+    src, dst = graph.edge_array()
+    field = "pattern" if graph.weights is None else "real"
+    lines = [f"%%MatrixMarket matrix coordinate {field} general"]
+    lines.append(f"{graph.num_vertices} {graph.num_vertices} {graph.num_edges}")
+    if graph.weights is None:
+        for u, v in zip(src.tolist(), dst.tolist()):
+            lines.append(f"{u + 1} {v + 1}")
+    else:
+        for u, v, w in zip(src.tolist(), dst.tolist(), graph.weights.tolist()):
+            lines.append(f"{u + 1} {v + 1} {w:g}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def write_metis(graph: CSRGraph, path: PathLike) -> None:
+    """Write METIS ``.graph`` format (1-indexed, undirected adjacency).
+
+    METIS requires a symmetric adjacency structure; the graph is symmetrized
+    on the way out, matching how the paper feeds its directed graphs to METIS.
+    """
+    und = graph.symmetrized()
+    lines = [f"{und.num_vertices} {und.num_edges // 2}"]
+    for u in range(und.num_vertices):
+        nbrs = und.neighbors(u) + 1
+        lines.append(" ".join(map(str, nbrs.tolist())))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_metis(path: PathLike) -> CSRGraph:
+    """Read a METIS ``.graph`` file (plain, unweighted variant)."""
+    lines = [
+        ln.strip()
+        for ln in Path(path).read_text().splitlines()
+        if ln.strip() and not ln.strip().startswith("%")
+    ]
+    if not lines:
+        raise GraphFormatError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"{path}: bad METIS header {lines[0]!r}")
+    n, m_declared = int(header[0]), int(header[1])
+    if len(lines) - 1 != n:
+        raise GraphFormatError(
+            f"{path}: header declares {n} vertices but file has {len(lines) - 1} adjacency rows"
+        )
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    for u, line in enumerate(lines[1:]):
+        for token in line.split():
+            v = int(token) - 1
+            if not 0 <= v < n:
+                raise GraphFormatError(f"{path}: vertex {v + 1} out of range on row {u + 1}")
+            src_list.append(u)
+            dst_list.append(v)
+    graph = CSRGraph.from_edges(
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        n,
+    )
+    if graph.num_edges != 2 * m_declared:
+        raise GraphFormatError(
+            f"{path}: header declares {m_declared} undirected edges but adjacency "
+            f"rows contain {graph.num_edges} directed entries"
+        )
+    return graph

@@ -1,0 +1,119 @@
+"""Approximate betweenness centrality (sampled Brandes).
+
+The paper names betweenness centrality as the kind of FP-heavy workload the
+PNM class (CXL-PNM/CXL-CMS) enables.  The forward phase is BFS-shaped (it
+*could* offload), but the backward dependency accumulation needs FP division
+per edge — a capability test for the weaker devices.  Implemented host-side
+over sampled sources.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import gather_neighbor_slices
+from repro.kernels.base import (
+    ComputeProfile,
+    KernelState,
+    MessageSpec,
+    VertexProgram,
+)
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class ApproxBetweenness(VertexProgram):
+    """Brandes betweenness over ``num_samples`` sampled sources.
+
+    Scores are scaled by ``n / num_samples`` so they estimate the exact
+    (unnormalized) betweenness.
+    """
+
+    name = "betweenness"
+    message = MessageSpec(value_bytes=8, reduce="sum")
+    prop_push_bytes = 16
+    compute = ComputeProfile(
+        traverse_flops_per_edge=1.0,
+        traverse_intops_per_edge=1.0,
+        apply_flops_per_update=3.0,  # dependency division + accumulate
+        apply_intops_per_update=1.0,
+        needs_fp=True,
+        needs_int_muldiv=True,  # sigma path counting multiplies
+    )
+    supports_engine = False
+
+    def __init__(self, num_samples: int = 8, *, seed: SeedLike = 0) -> None:
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        self.num_samples = int(num_samples)
+        self._seed = seed
+
+    def initial_state(
+        self, graph: CSRGraph, *, source: Optional[int] = None
+    ) -> KernelState:
+        state = KernelState(graph=graph)
+        state.props["betweenness"] = np.zeros(graph.num_vertices)
+        return state
+
+    def edge_messages(self, state, src, dst, weights):  # pragma: no cover
+        raise KernelError("betweenness cannot run through the message engine")
+
+    def apply(self, state, touched, reduced):  # pragma: no cover
+        raise KernelError("betweenness cannot run through the message engine")
+
+    def run_host(self, graph: CSRGraph) -> KernelState:
+        """Sampled Brandes: forward BFS per source, backward accumulation."""
+        rng = ensure_rng(self._seed)
+        n = graph.num_vertices
+        state = self.initial_state(graph)
+        if n == 0:
+            state.converged = True
+            return state
+        samples = min(self.num_samples, n)
+        sources = rng.choice(n, size=samples, replace=False)
+        bc = state.props["betweenness"]
+        for s in sources:
+            bc += self._single_source(graph, int(s))
+        bc *= n / samples
+        state.converged = True
+        return state
+
+    def _single_source(self, graph: CSRGraph, s: int) -> np.ndarray:
+        n = graph.num_vertices
+        dist = np.full(n, -1, dtype=np.int64)
+        sigma = np.zeros(n)
+        dist[s] = 0
+        sigma[s] = 1.0
+        frontiers = []
+        frontier = np.asarray([s], dtype=np.int64)
+        while frontier.size:
+            frontiers.append(frontier)
+            lens = graph.indptr[frontier + 1] - graph.indptr[frontier]
+            nbrs = gather_neighbor_slices(graph, frontier)
+            srcs = np.repeat(frontier, lens)
+            # Accumulate path counts into same-level-or-next neighbors.
+            undiscovered = dist[nbrs] < 0
+            if undiscovered.any():
+                fresh = np.unique(nbrs[undiscovered])
+                dist[fresh] = dist[frontier[0]] + 1
+            next_level = dist[nbrs] == dist[srcs] + 1
+            np.add.at(sigma, nbrs[next_level], sigma[srcs[next_level]])
+            frontier = np.unique(nbrs[undiscovered]) if undiscovered.any() else np.empty(0, dtype=np.int64)
+        delta = np.zeros(n)
+        for frontier in reversed(frontiers[:-1] if len(frontiers) > 1 else []):
+            lens = graph.indptr[frontier + 1] - graph.indptr[frontier]
+            nbrs = gather_neighbor_slices(graph, frontier)
+            srcs = np.repeat(frontier, lens)
+            next_level = dist[nbrs] == dist[srcs] + 1
+            w, v = srcs[next_level], nbrs[next_level]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                contrib = np.where(sigma[v] > 0, sigma[w] / sigma[v] * (1.0 + delta[v]), 0.0)
+            np.add.at(delta, w, contrib)
+        delta[s] = 0.0
+        return delta
+
+    def result(self, state: KernelState) -> np.ndarray:
+        return state.prop("betweenness")

@@ -1,0 +1,88 @@
+"""Triangle counting — a host-only kernel that does *not* fit NDP offload.
+
+Neighbor-list intersection needs random access across adjacency lists and
+integer-heavy set operations, which the scatter/gather message model (and
+the weaker Table I devices) cannot express.  It is included to exercise the
+capability checker: the runtime must refuse to offload it and fall back to
+host execution, the negative case of Section IV.A's "which operations to
+offload" decision.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.kernels.base import (
+    ComputeProfile,
+    KernelState,
+    MessageSpec,
+    VertexProgram,
+)
+
+
+class TriangleCounting(VertexProgram):
+    """Exact triangle count on the symmetrized simple graph."""
+
+    name = "triangles"
+    message = MessageSpec(value_bytes=8, reduce="sum")
+    prop_push_bytes = 16
+    compute = ComputeProfile(
+        traverse_flops_per_edge=0.0,
+        traverse_intops_per_edge=8.0,  # sorted-merge intersection per edge
+        apply_flops_per_update=0.0,
+        apply_intops_per_update=1.0,
+        needs_fp=False,
+        needs_int_muldiv=True,  # hash/merge index arithmetic
+    )
+    requires_symmetric = True
+    supports_engine = False
+    max_iterations = 1
+
+    def initial_state(
+        self, graph: CSRGraph, *, source: Optional[int] = None
+    ) -> KernelState:
+        state = KernelState(graph=graph)
+        state.props["triangles"] = np.zeros(graph.num_vertices)
+        return state
+
+    def edge_messages(self, state, src, dst, weights):  # pragma: no cover
+        raise KernelError("triangle counting cannot run through the message engine")
+
+    def apply(self, state, touched, reduced):  # pragma: no cover
+        raise KernelError("triangle counting cannot run through the message engine")
+
+    def run_host(self, graph: CSRGraph) -> KernelState:
+        """Execute on the host: per-vertex triangle counts via A·A masked by A.
+
+        Uses the scipy sparse triple-product formulation, the standard
+        vectorized exact counter.
+        """
+        import scipy.sparse as sp
+
+        und = graph.symmetrized().without_self_loops()
+        n = und.num_vertices
+        state = self.initial_state(und)
+        if und.num_edges == 0 or n == 0:
+            return state
+        src, dst = und.edge_array()
+        adj = sp.csr_matrix(
+            (np.ones(src.size), (src, dst)), shape=(n, n), dtype=np.float64
+        )
+        adj.data[:] = 1.0  # collapse any duplicates
+        paths2 = adj @ adj
+        closed = paths2.multiply(adj)
+        # Each triangle at a vertex is counted twice (both edge orders).
+        state.props["triangles"][:] = np.asarray(closed.sum(axis=1)).ravel() / 2.0
+        state.converged = True
+        return state
+
+    def result(self, state: KernelState) -> np.ndarray:
+        return state.prop("triangles").astype(np.int64)
+
+    def total(self, state: KernelState) -> int:
+        """Total triangle count (each counted once)."""
+        return int(round(state.prop("triangles").sum() / 3.0))

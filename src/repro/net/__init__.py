@@ -1,0 +1,15 @@
+"""Interconnect models: alpha-beta links, star topology, INC switch."""
+
+from repro.net.link import Link, LinkClass
+from repro.net.messages import Transfer
+from repro.net.switch import AggregationOutcome, SwitchModel
+from repro.net.topology import ClusterTopology
+
+__all__ = [
+    "Link",
+    "LinkClass",
+    "Transfer",
+    "SwitchModel",
+    "AggregationOutcome",
+    "ClusterTopology",
+]

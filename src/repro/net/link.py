@@ -1,0 +1,50 @@
+"""Alpha-beta link cost model.
+
+Every transfer pays a per-message latency (alpha) plus a per-byte
+serialization cost (beta = 1/bandwidth) — the standard LogP-style
+first-order model, sufficient for the relative timing comparisons the
+paper's Table II makes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class LinkClass(enum.Enum):
+    """Where a byte moved; the ledger keys its counters on this."""
+
+    HOST_LINK = "host-link"  # switch <-> compute node
+    MEMORY_LINK = "memory-link"  # switch <-> memory node
+    NODE_LOCAL = "node-local"  # inside one node (DRAM <-> CPU)
+    NDP_INTERNAL = "ndp-internal"  # inside an NDP device (units <-> banks)
+
+
+@dataclass(frozen=True)
+class Link:
+    """One network link with bandwidth (bytes/s) and per-message latency (s)."""
+
+    bandwidth_bps: float
+    latency_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigError(f"bandwidth must be > 0, got {self.bandwidth_bps}")
+        if self.latency_s < 0:
+            raise ConfigError(f"latency must be >= 0, got {self.latency_s}")
+
+    def transfer_seconds(self, nbytes: float, messages: int = 1) -> float:
+        """Time to move ``nbytes`` split into ``messages`` transfers."""
+        if nbytes < 0 or messages < 0:
+            raise ConfigError("transfer sizes must be >= 0")
+        if nbytes == 0 and messages == 0:
+            return 0.0
+        return self.latency_s * max(messages, 1) + nbytes / self.bandwidth_bps
+
+
+#: 100 GbE-class defaults used across the experiments.
+DEFAULT_HOST_LINK = Link(bandwidth_bps=12.5e9, latency_s=2e-6)
+DEFAULT_MEMORY_LINK = Link(bandwidth_bps=12.5e9, latency_s=2e-6)

@@ -1,0 +1,26 @@
+"""Transfer records for fine-grained movement traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import LinkClass
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One logical data transfer (a batch of messages on one link class).
+
+    Kept deliberately aggregate — the simulators account per (iteration,
+    phase, link class), not per packet.
+    """
+
+    iteration: int
+    phase: str  # "traverse" | "apply" | "frontier-push" | "edge-fetch"
+    link: LinkClass
+    nbytes: int
+    messages: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0 or self.messages < 0:
+            raise ValueError("transfer sizes must be >= 0")

@@ -1,0 +1,77 @@
+"""Cluster topology: compute pool + memory pool around one switch.
+
+The disaggregated deployments of Fig. 1 are star-shaped: every compute and
+memory node hangs off a (possibly programmable) switch.  Distributed
+deployments reuse the same star with compute+memory collapsed into the same
+nodes.  The topology owns the link parameters and answers timing queries
+for phase-level transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.link import DEFAULT_HOST_LINK, DEFAULT_MEMORY_LINK, Link
+from repro.net.switch import SwitchModel
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Star topology with ``num_compute`` hosts and ``num_memory`` pool nodes."""
+
+    num_compute: int
+    num_memory: int
+    host_link: Link = field(default=DEFAULT_HOST_LINK)
+    memory_link: Link = field(default=DEFAULT_MEMORY_LINK)
+    switch: Optional[SwitchModel] = None
+
+    def __post_init__(self) -> None:
+        if self.num_compute < 1:
+            raise ConfigError(f"num_compute must be >= 1, got {self.num_compute}")
+        if self.num_memory < 0:
+            raise ConfigError(f"num_memory must be >= 0, got {self.num_memory}")
+
+    @property
+    def num_nodes(self) -> int:
+        """All endpoints (excluding the switch)."""
+        return self.num_compute + self.num_memory
+
+    def memory_fanin_seconds(self, bytes_per_node: np.ndarray, messages_per_node: np.ndarray) -> float:
+        """Time for every memory node to push its bytes to the switch.
+
+        Memory-node links run in parallel; the phase finishes when the
+        slowest node finishes (bottleneck model).
+        """
+        bytes_per_node = np.asarray(bytes_per_node, dtype=np.float64)
+        messages_per_node = np.asarray(messages_per_node)
+        if bytes_per_node.size == 0:
+            return 0.0
+        times = [
+            self.memory_link.transfer_seconds(float(b), int(m))
+            for b, m in zip(bytes_per_node, messages_per_node)
+            if b > 0 or m > 0
+        ]
+        return max(times, default=0.0)
+
+    def host_fanout_seconds(self, total_bytes: float, total_messages: int) -> float:
+        """Time for the switch to deliver ``total_bytes`` spread evenly
+        across the compute-node links (which run in parallel)."""
+        if total_bytes <= 0 and total_messages <= 0:
+            return 0.0
+        per_host_bytes = total_bytes / self.num_compute
+        per_host_msgs = max(1, int(np.ceil(total_messages / self.num_compute)))
+        return self.host_link.transfer_seconds(per_host_bytes, per_host_msgs)
+
+    def host_push_seconds(self, total_bytes: float, total_messages: int) -> float:
+        """Time for the compute nodes to push bytes out (frontier props)."""
+        return self.host_fanout_seconds(total_bytes, total_messages)
+
+    def barrier_seconds(self, participants: int) -> float:
+        """Tree-barrier latency across ``participants`` nodes."""
+        if participants <= 1:
+            return 0.0
+        return self.host_link.latency_s * 2.0 * float(np.ceil(np.log2(participants)))

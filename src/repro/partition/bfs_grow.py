@@ -1,0 +1,80 @@
+"""BFS region-growing partitioner.
+
+A cheap locality-aware scheme: grow parts breadth-first from random seeds
+until each reaches its vertex budget.  Much better cut than hashing on
+graphs with community structure, much cheaper than multilevel METIS —
+a useful mid-point in the Fig. 6 trade-off space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import gather_neighbor_slices
+from repro.partition.base import PartitionAssignment, Partitioner
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class BFSGrowPartitioner(Partitioner):
+    """Grow ``num_parts`` regions breadth-first on the symmetrized graph."""
+
+    name = "bfs"
+
+    def partition(
+        self, graph: CSRGraph, num_parts: int, *, seed: SeedLike = None
+    ) -> PartitionAssignment:
+        self._check_args(graph, num_parts)
+        rng = ensure_rng(seed)
+        n = graph.num_vertices
+        if n == 0:
+            return PartitionAssignment(np.empty(0, dtype=np.int64), num_parts)
+        und = graph.symmetrized()
+        parts = np.full(n, -1, dtype=np.int64)
+        budget = _budgets(n, num_parts)
+        unvisited_order = rng.permutation(n)
+        cursor = 0
+
+        for p in range(num_parts):
+            remaining = budget[p]
+            # Seed: next unassigned vertex in the random order.
+            while cursor < n and parts[unvisited_order[cursor]] >= 0:
+                cursor += 1
+            if cursor >= n:
+                break
+            frontier = np.asarray([unvisited_order[cursor]], dtype=np.int64)
+            parts[frontier] = p
+            remaining -= 1
+            while remaining > 0 and frontier.size:
+                nbrs = gather_neighbor_slices(und, frontier)
+                fresh = np.unique(nbrs[parts[nbrs] < 0]) if nbrs.size else nbrs
+                if fresh.size == 0:
+                    # Region exhausted its component; jump to a new seed.
+                    while cursor < n and parts[unvisited_order[cursor]] >= 0:
+                        cursor += 1
+                    if cursor >= n:
+                        break
+                    fresh = np.asarray([unvisited_order[cursor]], dtype=np.int64)
+                if fresh.size > remaining:
+                    fresh = fresh[:remaining]
+                parts[fresh] = p
+                remaining -= fresh.size
+                frontier = fresh
+
+        # Any stragglers (disconnected leftovers) go to the lightest parts.
+        leftover = np.nonzero(parts < 0)[0]
+        if leftover.size:
+            sizes = np.bincount(parts[parts >= 0], minlength=num_parts)
+            for v in leftover:
+                p = int(np.argmin(sizes))
+                parts[v] = p
+                sizes[p] += 1
+        return PartitionAssignment(parts, num_parts)
+
+
+def _budgets(n: int, k: int) -> np.ndarray:
+    """Vertex budget per part: n/k with remainder over the first parts."""
+    base = n // k
+    budgets = np.full(k, base, dtype=np.int64)
+    budgets[: n % k] += 1
+    return budgets

@@ -1,0 +1,24 @@
+"""From-scratch METIS-like multilevel k-way partitioner.
+
+Implements the classic pmetis pipeline the paper invokes via the METIS
+library [34]: heavy-edge-matching coarsening, greedy graph-growing initial
+bisection, FM-style boundary refinement during uncoarsening, and recursive
+bisection for arbitrary k.
+"""
+
+from repro.partition.metis.kway import MetisPartitioner
+from repro.partition.metis.wgraph import WorkGraph
+from repro.partition.metis.matching import heavy_edge_matching
+from repro.partition.metis.coarsen import coarsen
+from repro.partition.metis.initial import greedy_growing_bisection
+from repro.partition.metis.refine import bisection_cut, fm_refine
+
+__all__ = [
+    "MetisPartitioner",
+    "WorkGraph",
+    "heavy_edge_matching",
+    "coarsen",
+    "greedy_growing_bisection",
+    "fm_refine",
+    "bisection_cut",
+]

@@ -1,0 +1,43 @@
+"""Graph contraction for the multilevel partitioner.
+
+Matched vertex pairs collapse into one coarse vertex; vertex weights add,
+parallel coarse edges merge by summing weights, and self loops (edges
+internal to a coarse vertex) disappear — their weight is exactly the cut
+weight "saved" by the contraction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.metis.wgraph import WorkGraph, build
+
+
+def coarsen(wg: WorkGraph, match: np.ndarray) -> Tuple[WorkGraph, np.ndarray]:
+    """Contract ``wg`` along ``match``.
+
+    Returns ``(coarse_graph, cmap)`` where ``cmap[u]`` is the coarse id of
+    fine vertex ``u``.
+    """
+    n = wg.num_vertices
+    if match.size != n:
+        raise PartitionError(f"match has {match.size} entries for {n} vertices")
+    # Canonical representative of each pair: the smaller id.
+    rep = np.minimum(np.arange(n, dtype=np.int64), match)
+    # Dense coarse ids in representative order.
+    uniq, cmap = np.unique(rep, return_inverse=True)
+    cmap = cmap.astype(np.int64)
+    nc = uniq.size
+
+    cvw = np.zeros(nc, dtype=np.int64)
+    np.add.at(cvw, cmap, wg.vweights)
+
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(wg.indptr))
+    cs = cmap[src]
+    cd = cmap[wg.indices]
+    keep = cs != cd  # drop intra-pair (now self-loop) edges
+    coarse = build(nc, cs[keep], cd[keep], wg.eweights[keep], cvw)
+    return coarse, cmap

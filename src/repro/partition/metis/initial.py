@@ -1,0 +1,94 @@
+"""Initial bisection of the coarsest graph: greedy graph growing.
+
+Grow one side breadth-first from a random seed, always absorbing the
+boundary vertex with the best (cut-decreasing) gain, until the side reaches
+its vertex-weight target.  Several seeds are tried; the lowest-cut result
+wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.metis.refine import bisection_cut
+from repro.partition.metis.wgraph import WorkGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def greedy_growing_bisection(
+    wg: WorkGraph,
+    target_frac: float,
+    *,
+    seed: SeedLike = None,
+    tries: int = 4,
+) -> np.ndarray:
+    """Return ``side: bool[n]`` with ``True`` marking the grown (left) side.
+
+    ``target_frac`` is the fraction of total vertex weight the left side
+    should receive.
+    """
+    rng = ensure_rng(seed)
+    n = wg.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    target = target_frac * wg.total_vweight
+    best_side: np.ndarray | None = None
+    best_cut = np.iinfo(np.int64).max
+    for _ in range(max(1, tries)):
+        side = _grow_once(wg, target, rng)
+        cut = bisection_cut(wg, side)
+        if cut < best_cut:
+            best_cut, best_side = cut, side
+    assert best_side is not None
+    return best_side
+
+
+def _grow_once(wg: WorkGraph, target: float, rng: np.random.Generator) -> np.ndarray:
+    n = wg.num_vertices
+    side = np.zeros(n, dtype=bool)
+    indptr, indices, eweights, vweights = (
+        wg.indptr,
+        wg.indices,
+        wg.eweights,
+        wg.vweights,
+    )
+    seed_vertex = int(rng.integers(0, n))
+    side[seed_vertex] = True
+    weight = int(vweights[seed_vertex])
+    # gain[v] = (edge weight to the growing side) - (edge weight away);
+    # maintained incrementally for boundary candidates.
+    gain = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
+    _absorb(wg, seed_vertex, gain, side)
+    while weight < target:
+        candidates = np.nonzero(~side & (gain > np.iinfo(np.int64).min))[0]
+        if candidates.size == 0:
+            # Growing side exhausted its component: restart from a fresh seed.
+            outside = np.nonzero(~side)[0]
+            if outside.size == 0:
+                break
+            v = int(outside[rng.integers(0, outside.size)])
+        else:
+            v = int(candidates[np.argmax(gain[candidates])])
+        side[v] = True
+        weight += int(vweights[v])
+        gain[v] = np.iinfo(np.int64).min
+        _absorb(wg, v, gain, side)
+    return side
+
+
+def _absorb(wg: WorkGraph, v: int, gain: np.ndarray, side: np.ndarray) -> None:
+    """Update boundary gains after ``v`` joins the growing side."""
+    a, b = wg.indptr[v], wg.indptr[v + 1]
+    nbrs = wg.indices[a:b]
+    w = wg.eweights[a:b]
+    outside = ~side[nbrs]
+    for u, wt in zip(nbrs[outside].tolist(), w[outside].tolist()):
+        if gain[u] == np.iinfo(np.int64).min:
+            # First contact: initialize from scratch (v's edge counted below).
+            ua, ub = wg.indptr[u], wg.indptr[u + 1]
+            unbrs = wg.indices[ua:ub]
+            uw = wg.eweights[ua:ub]
+            inside = side[unbrs]
+            gain[u] = int(uw[inside].sum() - uw[~inside].sum())
+        else:
+            gain[u] += 2 * wt

@@ -1,0 +1,151 @@
+"""Multilevel recursive-bisection driver (the user-facing METIS partitioner).
+
+Pipeline per bisection: coarsen with heavy-edge matching until the graph is
+small (or contraction stalls), bisect the coarsest graph by greedy growing,
+then project back up refining with FM at every level.  k-way partitions come
+from recursive bisection with weight-proportional targets, so any k >= 1
+works, not just powers of two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import PartitionAssignment, Partitioner
+from repro.partition.metis import wgraph
+from repro.partition.metis.coarsen import coarsen
+from repro.partition.metis.initial import greedy_growing_bisection
+from repro.partition.metis.matching import heavy_edge_matching
+from repro.partition.metis.refine import fm_refine, rebalance
+from repro.partition.metis.wgraph import WorkGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class MetisPartitioner(Partitioner):
+    """Multilevel k-way min-cut partitioner.
+
+    Parameters
+    ----------
+    coarsen_to:
+        stop coarsening once the working graph has at most this many
+        vertices.
+    max_passes:
+        FM refinement sweeps per level.
+    tolerance:
+        balance slack per bisection (fraction of side weight).
+    balance:
+        ``"vertices"`` (default) balances vertex counts; ``"edges"``
+        balances *stored out-edges* per part by weighting each vertex with
+        ``1 + outdeg`` — the quantity that matters when parts are memory
+        nodes holding CSR shards of a skewed graph.
+    """
+
+    name = "metis"
+
+    def __init__(
+        self,
+        *,
+        coarsen_to: int = 64,
+        max_passes: int = 8,
+        tolerance: float = 0.05,
+        balance: str = "vertices",
+    ) -> None:
+        if coarsen_to < 2:
+            raise ValueError(f"coarsen_to must be >= 2, got {coarsen_to}")
+        if balance not in ("vertices", "edges"):
+            raise ValueError(
+                f"balance must be 'vertices' or 'edges', got {balance!r}"
+            )
+        self.coarsen_to = coarsen_to
+        self.max_passes = max_passes
+        self.tolerance = tolerance
+        self.balance = balance
+
+    def partition(
+        self, graph: CSRGraph, num_parts: int, *, seed: SeedLike = None
+    ) -> PartitionAssignment:
+        self._check_args(graph, num_parts)
+        rng = ensure_rng(seed)
+        n = graph.num_vertices
+        parts = np.zeros(n, dtype=np.int64)
+        if num_parts > 1 and n > 0:
+            wg = wgraph.from_csr(graph)
+            if self.balance == "edges":
+                wg = wgraph.WorkGraph(
+                    indptr=wg.indptr,
+                    indices=wg.indices,
+                    eweights=wg.eweights,
+                    vweights=(1 + graph.out_degrees).astype(np.int64),
+                )
+            ids = np.arange(n, dtype=np.int64)
+            self._recurse(wg, ids, num_parts, 0, parts, rng)
+        return PartitionAssignment(parts, num_parts)
+
+    # ------------------------------------------------------------------ #
+
+    def _recurse(
+        self,
+        wg: WorkGraph,
+        ids: np.ndarray,
+        k: int,
+        offset: int,
+        out: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        if k == 1:
+            out[ids] = offset
+            return
+        k_left = (k + 1) // 2
+        target_frac = k_left / k
+        side = self._multilevel_bisect(wg, target_frac, rng)
+        left = np.nonzero(side)[0]
+        right = np.nonzero(~side)[0]
+        if left.size == 0 or right.size == 0:
+            # Degenerate bisection (tiny/disconnected input): split by count.
+            half = max(1, int(round(target_frac * ids.size)))
+            order = np.arange(ids.size)
+            left, right = order[:half], order[half:]
+            if right.size == 0 and left.size > 1:
+                left, right = left[:-1], left[-1:]
+        sub_l, ids_l = wgraph.induced_subgraph(wg, left)
+        sub_r, ids_r = wgraph.induced_subgraph(wg, right)
+        self._recurse(sub_l, ids[ids_l], k_left, offset, out, rng)
+        self._recurse(sub_r, ids[ids_r], k - k_left, offset + k_left, out, rng)
+
+    def _multilevel_bisect(
+        self, wg: WorkGraph, target_frac: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        if wg.num_vertices <= self.coarsen_to:
+            side = greedy_growing_bisection(wg, target_frac, seed=rng)
+            side = rebalance(wg, side, target_frac, tolerance=self.tolerance)
+            return fm_refine(
+                wg,
+                side,
+                target_frac,
+                max_passes=self.max_passes,
+                tolerance=self.tolerance,
+            )
+        match = heavy_edge_matching(wg, seed=rng)
+        coarse, cmap = coarsen(wg, match)
+        if coarse.num_vertices > 0.95 * wg.num_vertices:
+            # Contraction stalled (e.g. star graphs): bisect directly.
+            side = greedy_growing_bisection(wg, target_frac, seed=rng)
+            side = rebalance(wg, side, target_frac, tolerance=self.tolerance)
+            return fm_refine(
+                wg,
+                side,
+                target_frac,
+                max_passes=self.max_passes,
+                tolerance=self.tolerance,
+            )
+        coarse_side = self._multilevel_bisect(coarse, target_frac, rng)
+        side = coarse_side[cmap]
+        side = rebalance(wg, side, target_frac, tolerance=self.tolerance)
+        return fm_refine(
+            wg,
+            side,
+            target_frac,
+            max_passes=self.max_passes,
+            tolerance=self.tolerance,
+        )

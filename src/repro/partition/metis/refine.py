@@ -1,0 +1,150 @@
+"""FM-style boundary refinement for bisections.
+
+During uncoarsening, a projected bisection is improved by moving boundary
+vertices whose *gain* (external minus internal edge weight) is positive,
+subject to a vertex-weight balance constraint.  Gains for all vertices are
+computed vectorized once per pass; moves within a pass freeze the moved
+vertex's neighbors so that two endpoints of one edge cannot both flip (which
+could increase the cut the vectorized gains no longer see).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.metis.wgraph import WorkGraph
+
+#: Allowed deviation from the target side weight, as a fraction of total.
+DEFAULT_TOLERANCE = 0.05
+
+
+def bisection_cut(wg: WorkGraph, side: np.ndarray) -> int:
+    """Total weight of edges crossing the bisection (undirected count)."""
+    if wg.num_edges == 0:
+        return 0
+    src = np.repeat(
+        np.arange(wg.num_vertices, dtype=np.int64), np.diff(wg.indptr)
+    )
+    cross = side[src] != side[wg.indices]
+    # Each undirected edge appears twice in the symmetric structure.
+    return int(wg.eweights[cross].sum() // 2)
+
+
+def side_gains(wg: WorkGraph, side: np.ndarray) -> np.ndarray:
+    """``gain[v]`` = cut reduction if ``v`` switched sides (vectorized)."""
+    n = wg.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(wg.indptr))
+    same = side[src] == side[wg.indices]
+    external = np.zeros(n, dtype=np.int64)
+    internal = np.zeros(n, dtype=np.int64)
+    np.add.at(external, src[~same], wg.eweights[~same])
+    np.add.at(internal, src[same], wg.eweights[same])
+    return external - internal
+
+
+def fm_refine(
+    wg: WorkGraph,
+    side: np.ndarray,
+    target_frac: float,
+    *,
+    max_passes: int = 8,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> np.ndarray:
+    """Refine ``side`` in place-ish (a copy is returned) and return it.
+
+    Parameters
+    ----------
+    target_frac:
+        desired fraction of total vertex weight on the ``True`` side.
+    max_passes:
+        upper bound on refinement sweeps; each sweep stops early when the
+        measured cut stops improving.
+    tolerance:
+        balance slack as a fraction of total vertex weight.
+    """
+    side = side.copy()
+    total = wg.total_vweight
+    if total == 0:
+        return side
+    target = target_frac * total
+    slack = tolerance * total
+    left_weight = int(wg.vweights[side].sum())
+    best_cut = bisection_cut(wg, side)
+
+    for _ in range(max_passes):
+        gains = side_gains(wg, side)
+        frozen = np.zeros(wg.num_vertices, dtype=bool)
+        order = np.argsort(-gains)
+        moved_any = False
+        for v in order:
+            g = gains[v]
+            if g <= 0:
+                break  # order is descending: nothing positive remains
+            if frozen[v]:
+                continue
+            vw = int(wg.vweights[v])
+            new_left = left_weight - vw if side[v] else left_weight + vw
+            if abs(new_left - target) > slack and abs(new_left - target) >= abs(
+                left_weight - target
+            ):
+                continue  # move would worsen an already out-of-slack balance
+            side[v] = not side[v]
+            left_weight = new_left
+            frozen[v] = True
+            nbrs, _ = wg.neighbors(int(v))
+            frozen[nbrs] = True
+            moved_any = True
+        cut = bisection_cut(wg, side)
+        if not moved_any or cut >= best_cut:
+            break
+        best_cut = cut
+    return side
+
+
+def rebalance(
+    wg: WorkGraph,
+    side: np.ndarray,
+    target_frac: float,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> np.ndarray:
+    """Force the bisection back inside the balance envelope.
+
+    Moves lowest-damage vertices (best gain first) from the heavy side until
+    the target is met.  Only vertices whose weight strictly reduces the
+    imbalance are eligible, so the loop cannot oscillate; gains are refreshed
+    in batches to keep the pass near-linear.
+    """
+    side = side.copy()
+    total = wg.total_vweight
+    if total == 0:
+        return side
+    target = target_frac * total
+    slack = max(tolerance * total, float(wg.vweights.max(initial=0)))
+    left_weight = int(wg.vweights[side].sum())
+    max_rounds = int(np.ceil(np.log2(wg.num_vertices + 2))) + 4
+    for _ in range(max_rounds):
+        diff = left_weight - target
+        if abs(diff) <= slack:
+            break
+        heavy_is_left = diff > 0
+        pool = np.nonzero(side == heavy_is_left)[0]
+        if pool.size <= 1:
+            break
+        gains = side_gains(wg, side)
+        order = pool[np.argsort(-gains[pool])]
+        moved = False
+        for v in order:
+            diff = left_weight - target
+            if abs(diff) <= slack:
+                break
+            vw = int(wg.vweights[v])
+            # A move helps only if it strictly shrinks the imbalance.
+            if vw >= 2 * abs(diff):
+                continue
+            side[v] = not side[v]
+            left_weight += -vw if heavy_is_left else vw
+            moved = True
+        if not moved:
+            break
+    return side

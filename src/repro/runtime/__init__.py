@@ -1,0 +1,54 @@
+"""Runtime mechanisms the paper calls for: system configuration, offload
+policies, the analytic cost model, in-network aggregation planning, and
+provisioning (Section IV)."""
+
+from repro.runtime.config import SystemConfig
+from repro.runtime.offload import (
+    AlwaysOffload,
+    DynamicCostPolicy,
+    IterationOutlook,
+    NeverOffload,
+    OffloadPolicy,
+    OraclePolicy,
+    PerPartCostPolicy,
+    ThresholdPolicy,
+    get_policy,
+    list_policies,
+)
+from repro.runtime.cost_model import (
+    MovementEstimate,
+    estimate_distinct_destinations,
+    estimate_movement,
+    exact_movement,
+)
+from repro.runtime.aggregation import AggregationPlan, plan_aggregation
+from repro.runtime.provision import (
+    ProvisionPlan,
+    provision_coupled,
+    provision_disaggregated,
+    workload_demands,
+)
+
+__all__ = [
+    "SystemConfig",
+    "OffloadPolicy",
+    "AlwaysOffload",
+    "NeverOffload",
+    "ThresholdPolicy",
+    "DynamicCostPolicy",
+    "OraclePolicy",
+    "PerPartCostPolicy",
+    "IterationOutlook",
+    "get_policy",
+    "list_policies",
+    "MovementEstimate",
+    "estimate_movement",
+    "exact_movement",
+    "estimate_distinct_destinations",
+    "AggregationPlan",
+    "plan_aggregation",
+    "ProvisionPlan",
+    "provision_coupled",
+    "provision_disaggregated",
+    "workload_demands",
+]

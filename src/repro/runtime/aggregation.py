@@ -1,0 +1,93 @@
+"""In-network aggregation planning (Section IV.C).
+
+Deciding to aggregate in the switch needs three checks the paper spells
+out: (1) the reduce operator must be expressible on the switch ASIC
+(capability), (2) the aggregation table must have room for the in-flight
+destinations (buffer capacity), and (3) the merge must actually shrink the
+update stream (benefit grows with the partition count because partial
+updates multiply with distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.capabilities import check_offload
+from repro.kernels.base import VertexProgram
+from repro.net.switch import SwitchModel
+
+
+@dataclass(frozen=True)
+class AggregationPlan:
+    """Outcome of the INC planning step."""
+
+    enabled: bool
+    reasons: Tuple[str, ...]
+    expected_update_ratio: float  # updates_out / updates_in if enabled
+    table_occupancy: float  # fraction of switch slots needed
+
+    @property
+    def expected_reduction(self) -> float:
+        """Fraction of update traffic removed (0 = none)."""
+        return 1.0 - self.expected_update_ratio
+
+
+def plan_aggregation(
+    kernel: VertexProgram,
+    switch: Optional[SwitchModel],
+    *,
+    partial_pairs: float,
+    distinct_destinations: float,
+    min_benefit: float = 0.05,
+) -> AggregationPlan:
+    """Decide whether this workload/scale should aggregate in-network.
+
+    Parameters
+    ----------
+    partial_pairs / distinct_destinations:
+        expected Σ|D_p| and |∪D_p| per iteration (measured or estimated).
+    min_benefit:
+        minimum fractional update reduction worth configuring the switch.
+    """
+    reasons: list[str] = []
+    if switch is None:
+        return AggregationPlan(
+            enabled=False,
+            reasons=("no switch device in the deployment",),
+            expected_update_ratio=1.0,
+            table_occupancy=0.0,
+        )
+
+    check = check_offload(kernel, switch.device, phase="aggregate")
+    if not check.allowed:
+        reasons.extend(check.reasons)
+
+    occupancy = (
+        distinct_destinations / switch.capacity_slots
+        if switch.capacity_slots > 0
+        else np.inf
+    )
+    if occupancy > 1.0:
+        reasons.append(
+            f"aggregation table too small: needs {distinct_destinations:.0f} "
+            f"slots, has {switch.capacity_slots}"
+        )
+
+    ratio = (
+        distinct_destinations / partial_pairs if partial_pairs > 0 else 1.0
+    )
+    if 1.0 - ratio < min_benefit:
+        reasons.append(
+            f"expected update reduction {1.0 - ratio:.1%} below the "
+            f"{min_benefit:.0%} threshold"
+        )
+
+    return AggregationPlan(
+        enabled=not reasons,
+        reasons=tuple(reasons),
+        expected_update_ratio=min(ratio, 1.0),
+        table_occupancy=float(occupancy),
+    )

@@ -1,0 +1,345 @@
+"""Offload policies — when to process near data (Sections IV.A and IV.D).
+
+The paper's central runtime finding is that "offload is not always the
+better option" and the winner "can vary even across iterations of the same
+graph application".  A policy decides, before each iteration runs, whether
+the traversal executes on the NDP memory nodes (offload) or on the hosts
+after an edge fetch.  The policy sees an :class:`IterationOutlook` — the
+frontier statistics a real runtime can compute cheaply — and, for the
+idealized oracle, the exact counts the simulator knows.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.base import VertexProgram
+from repro.net.switch import SwitchModel
+from repro.runtime.cost_model import estimate_movement, exact_movement
+
+
+@dataclass(frozen=True)
+class IterationOutlook:
+    """What the runtime knows before an iteration executes.
+
+    The first block is cheaply computable from the frontier and the
+    partition map (the paper's proposed heuristics); the ``exact_*`` block
+    is only populated for the oracle policy.
+    """
+
+    iteration: int
+    frontier_size: int
+    edges_traversed: int  # Σ outdeg over the frontier
+    num_vertices: int
+    num_parts: int
+    edges_per_part: Optional[np.ndarray] = None
+    frontier_per_part: Optional[np.ndarray] = None
+    # -- oracle-only fields --------------------------------------------- #
+    exact_partial_pairs: Optional[int] = None
+    exact_distinct_destinations: Optional[int] = None
+    exact_updates_per_destination: Optional[np.ndarray] = None
+    exact_partials_per_part: Optional[np.ndarray] = None
+
+    @property
+    def avg_frontier_degree(self) -> float:
+        """Mean out-degree across the frontier."""
+        if self.frontier_size == 0:
+            return 0.0
+        return self.edges_traversed / self.frontier_size
+
+
+class OffloadPolicy(abc.ABC):
+    """Strategy interface: offload this iteration's traversal or not."""
+
+    name: str = "abstract"
+    #: whether the policy needs the simulator to fill the exact_* fields
+    requires_oracle: bool = False
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        kernel: VertexProgram,
+        outlook: IterationOutlook,
+        *,
+        switch: Optional[SwitchModel] = None,
+        inc_enabled: bool = False,
+    ) -> bool:
+        """Return True to offload the traversal near-data."""
+
+    def decide_per_part(
+        self,
+        kernel: VertexProgram,
+        outlook: IterationOutlook,
+        *,
+        switch: Optional[SwitchModel] = None,
+        inc_enabled: bool = False,
+    ) -> Optional[np.ndarray]:
+        """Optional fine-grained decision: offload mask per memory node.
+
+        Returning ``None`` (the default) means the policy only makes the
+        global decision and :meth:`decide` applies to every node.  The
+        paper's §IV asks for control over *which* operations to offload
+        "and where" — a per-node mask is the "where".
+        """
+        return None
+
+    def observe(
+        self,
+        outlook: IterationOutlook,
+        *,
+        partial_pairs: int,
+        distinct_destinations: int,
+    ) -> None:
+        """Feedback hook: the realized counts of the iteration just run.
+
+        The simulator calls this after every iteration, regardless of the
+        decision, so adaptive policies can calibrate their estimators
+        against reality (no-op by default).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class AlwaysOffload(OffloadPolicy):
+    """Static policy: offload every iteration (the naive NDP deployment)."""
+
+    name = "always"
+
+    def decide(self, kernel, outlook, *, switch=None, inc_enabled=False) -> bool:
+        return True
+
+
+class NeverOffload(OffloadPolicy):
+    """Static policy: never offload (the passive-memory-pool deployment)."""
+
+    name = "never"
+
+    def decide(self, kernel, outlook, *, switch=None, inc_enabled=False) -> bool:
+        return False
+
+
+class ThresholdPolicy(OffloadPolicy):
+    """Offload when the frontier's average out-degree clears a threshold.
+
+    The simplest §IV.D heuristic: dense frontiers favor offload because
+    fetching many edges costs more than shipping one update per
+    destination.  The default threshold is the break-even degree of the
+    16 B-update / 8 B-edge PageRank accounting (~wire/edge ≈ 2-4).
+    """
+
+    name = "threshold"
+
+    def __init__(self, min_avg_degree: float = 4.0) -> None:
+        if min_avg_degree < 0:
+            raise ConfigError(
+                f"min_avg_degree must be >= 0, got {min_avg_degree}"
+            )
+        self.min_avg_degree = float(min_avg_degree)
+
+    def decide(self, kernel, outlook, *, switch=None, inc_enabled=False) -> bool:
+        return outlook.avg_frontier_degree >= self.min_avg_degree
+
+
+class DynamicCostPolicy(OffloadPolicy):
+    """Per-iteration cost-model decision (the paper's proposed mechanism).
+
+    Estimates fetch vs offload bytes from frontier size, frontier degree
+    mass, and the per-partition edge distribution — all computable by a
+    real runtime — and picks the cheaper side.
+
+    The occupancy estimate assumes uniformly random destinations, which
+    over-counts distinct destinations on skewed graphs (hubs absorb many
+    edges).  A real runtime sees the actual update counts at the end of
+    every iteration, so the policy calibrates: it keeps an exponential
+    moving average of the realized/estimated ratio and scales subsequent
+    estimates by it.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, *, calibrate: bool = True, ema_alpha: float = 0.5) -> None:
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ConfigError(f"ema_alpha must be in (0, 1], got {ema_alpha}")
+        self.calibrate = calibrate
+        self.ema_alpha = float(ema_alpha)
+        self._pairs_correction = 1.0
+        self._distinct_correction = 1.0
+
+    def decide(self, kernel, outlook, *, switch=None, inc_enabled=False) -> bool:
+        est = estimate_movement(
+            kernel,
+            frontier_size=outlook.frontier_size,
+            edges_traversed=outlook.edges_traversed,
+            num_vertices=outlook.num_vertices,
+            num_parts=outlook.num_parts,
+            edges_per_part=outlook.edges_per_part,
+        )
+        # Re-derive the update-dependent parts with the learned corrections.
+        from repro.runtime.cost_model import frontier_push_bytes
+
+        wire = kernel.message.wire_bytes
+        push = frontier_push_bytes(
+            kernel,
+            outlook.frontier_size,
+            num_vertices=outlook.num_vertices,
+            num_parts=outlook.num_parts,
+        )
+        raw_pairs = (est.offload_bytes - push) / wire if wire else 0.0
+        raw_distinct = (est.offload_inc_bytes - push) / wire if wire else 0.0
+        offload = push + wire * raw_pairs * self._pairs_correction
+        offload_inc = push + wire * raw_distinct * self._distinct_correction
+        offload_cost = offload_inc if inc_enabled else offload
+        return offload_cost < est.fetch_bytes
+
+    def observe(self, outlook, *, partial_pairs, distinct_destinations) -> None:
+        if not self.calibrate:
+            return
+        from repro.runtime.cost_model import estimate_distinct_destinations
+
+        if outlook.edges_per_part is not None:
+            est_pairs = sum(
+                estimate_distinct_destinations(float(e), outlook.num_vertices)
+                for e in outlook.edges_per_part
+            )
+        else:
+            est_pairs = outlook.num_parts * estimate_distinct_destinations(
+                outlook.edges_traversed / max(outlook.num_parts, 1),
+                outlook.num_vertices,
+            )
+        est_distinct = estimate_distinct_destinations(
+            outlook.edges_traversed, outlook.num_vertices
+        )
+        a = self.ema_alpha
+        if est_pairs > 0 and partial_pairs > 0:
+            self._pairs_correction = (
+                (1 - a) * self._pairs_correction + a * partial_pairs / est_pairs
+            )
+        if est_distinct > 0 and distinct_destinations > 0:
+            self._distinct_correction = (
+                (1 - a) * self._distinct_correction
+                + a * distinct_destinations / est_distinct
+            )
+
+
+class OraclePolicy(OffloadPolicy):
+    """Idealized policy with perfect knowledge of this iteration's counts.
+
+    Lower-bounds achievable movement; the gap between ``dynamic`` and
+    ``oracle`` measures the cost-model's estimation error.
+    """
+
+    name = "oracle"
+    requires_oracle = True
+
+    def decide(self, kernel, outlook, *, switch=None, inc_enabled=False) -> bool:
+        if outlook.exact_partial_pairs is None:
+            raise ConfigError(
+                "OraclePolicy needs exact counts; run it through a simulator "
+                "that fills the oracle fields"
+            )
+        est = exact_movement(
+            kernel,
+            frontier_size=outlook.frontier_size,
+            edges_traversed=outlook.edges_traversed,
+            partial_pairs=outlook.exact_partial_pairs,
+            distinct_destinations=outlook.exact_distinct_destinations or 0,
+            switch=switch if inc_enabled else None,
+            updates_per_destination=outlook.exact_updates_per_destination,
+        )
+        offload_cost = est.offload_inc_bytes if inc_enabled else est.offload_bytes
+        return offload_cost < est.fetch_bytes
+
+
+class PerPartCostPolicy(DynamicCostPolicy):
+    """Per-memory-node offload decisions (the paper's "which ... and where").
+
+    Each node's traversal is offloaded independently: node ``p`` offloads
+    when its own push + partial-update bytes undercut fetching its share of
+    the frontier's edge lists.  Dense shards offload while sparse shards
+    fetch — strictly dominating any single global decision whenever the
+    per-part densities diverge.
+
+    With ``oracle=True`` the exact per-part counts replace the calibrated
+    occupancy estimate (an idealized lower bound, like :class:`OraclePolicy`).
+    """
+
+    name = "per-part"
+
+    def __init__(self, *, oracle: bool = False, **kwargs: object) -> None:
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+        self.oracle = oracle
+
+    @property
+    def requires_oracle(self) -> bool:  # type: ignore[override]
+        return self.oracle
+
+    def decide_per_part(
+        self, kernel, outlook, *, switch=None, inc_enabled=False
+    ) -> Optional[np.ndarray]:
+        if outlook.edges_per_part is None or outlook.frontier_per_part is None:
+            return None  # fall back to the global decision
+        from repro.runtime.cost_model import (
+            VERTEX_ID_BYTES,
+            edge_record_bytes,
+            estimate_distinct_destinations,
+        )
+
+        edges = np.asarray(outlook.edges_per_part, dtype=np.float64)
+        frontier = np.asarray(outlook.frontier_per_part, dtype=np.float64)
+        if self.oracle and outlook.exact_partials_per_part is not None:
+            pairs = np.asarray(outlook.exact_partials_per_part, dtype=np.float64)
+        else:
+            pairs = np.asarray(
+                [
+                    estimate_distinct_destinations(e, outlook.num_vertices)
+                    for e in edges
+                ]
+            )
+            pairs = pairs * self._pairs_correction
+        push_per_vertex = (
+            kernel.prop_push_bytes if kernel.pushes_values else VERTEX_ID_BYTES
+        )
+        offload_cost = push_per_vertex * frontier + kernel.message.wire_bytes * pairs
+        fetch_cost = VERTEX_ID_BYTES * frontier + edge_record_bytes(kernel) * edges
+        return offload_cost < fetch_cost
+
+    def decide(self, kernel, outlook, *, switch=None, inc_enabled=False) -> bool:
+        # Used only when per-part information is unavailable.
+        return super().decide(
+            kernel, outlook, switch=switch, inc_enabled=inc_enabled
+        )
+
+
+_REGISTRY: Dict[str, Type[OffloadPolicy]] = {
+    cls.name: cls
+    for cls in (
+        AlwaysOffload,
+        NeverOffload,
+        ThresholdPolicy,
+        DynamicCostPolicy,
+        OraclePolicy,
+        PerPartCostPolicy,
+    )
+}
+
+
+def list_policies() -> tuple[str, ...]:
+    """Registered policy names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_policy(name: str, **kwargs: object) -> OffloadPolicy:
+    """Instantiate an offload policy by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown offload policy {name!r}; available: {', '.join(list_policies())}"
+        ) from None
+    return cls(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,21 @@
+"""Measurement plumbing: counters, movement ledger, utilization, reports."""
+
+from repro.telemetry.counters import CounterSet
+from repro.telemetry.movement import MovementLedger
+from repro.telemetry.utilization import (
+    UtilizationReport,
+    classify_utilization,
+    utilization_report,
+)
+from repro.telemetry.report import movement_table, to_csv, to_json
+
+__all__ = [
+    "CounterSet",
+    "MovementLedger",
+    "UtilizationReport",
+    "utilization_report",
+    "classify_utilization",
+    "movement_table",
+    "to_csv",
+    "to_json",
+]

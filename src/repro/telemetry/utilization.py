@@ -1,0 +1,81 @@
+"""Resource-utilization accounting (Table II's Skewed vs Balanced column).
+
+Coupled architectures must provision identical servers for the *max* of the
+compute and memory demands, stranding the other resource; disaggregation
+provisions each pool to its own demand.  The report measures per-resource
+utilization and classifies the deployment with the same labels the paper's
+table uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Utilization of provisioned compute and memory for one deployment."""
+
+    compute_demand_ops: float  # ops/s the workload needs to hit its target
+    memory_demand_bytes: float  # bytes the graph + state occupy
+    compute_provisioned_ops: float
+    memory_provisioned_bytes: float
+    num_nodes: int
+
+    @property
+    def compute_utilization(self) -> float:
+        if self.compute_provisioned_ops <= 0:
+            return 0.0
+        return min(1.0, self.compute_demand_ops / self.compute_provisioned_ops)
+
+    @property
+    def memory_utilization(self) -> float:
+        if self.memory_provisioned_bytes <= 0:
+            return 0.0
+        return min(1.0, self.memory_demand_bytes / self.memory_provisioned_bytes)
+
+    @property
+    def skew(self) -> float:
+        """Absolute gap between the two utilizations (0 = perfectly balanced)."""
+        return abs(self.compute_utilization - self.memory_utilization)
+
+    @property
+    def stranded_fraction(self) -> float:
+        """Fraction of the more-stranded resource left idle."""
+        return 1.0 - min(self.compute_utilization, self.memory_utilization)
+
+
+def utilization_report(
+    *,
+    compute_demand_ops: float,
+    memory_demand_bytes: float,
+    compute_provisioned_ops: float,
+    memory_provisioned_bytes: float,
+    num_nodes: int,
+) -> UtilizationReport:
+    """Build a :class:`UtilizationReport` (thin validated constructor)."""
+    if min(
+        compute_demand_ops,
+        memory_demand_bytes,
+        compute_provisioned_ops,
+        memory_provisioned_bytes,
+    ) < 0:
+        raise ValueError("utilization inputs must be >= 0")
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    return UtilizationReport(
+        compute_demand_ops=compute_demand_ops,
+        memory_demand_bytes=memory_demand_bytes,
+        compute_provisioned_ops=compute_provisioned_ops,
+        memory_provisioned_bytes=memory_provisioned_bytes,
+        num_nodes=num_nodes,
+    )
+
+
+#: Skew above this gap reads as "Skewed" in the Table II sense.
+SKEW_THRESHOLD = 0.35
+
+
+def classify_utilization(report: UtilizationReport) -> str:
+    """Map a report to the paper's qualitative label."""
+    return "Skewed" if report.skew > SKEW_THRESHOLD else "Balanced"

@@ -1,0 +1,115 @@
+"""Trace analysis: per-run summaries and Fig. 7-style pairwise comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.trace.record import IterationRecord
+
+
+def summarize_trace(records: Sequence[IterationRecord]) -> Dict[str, float]:
+    """Aggregate one run's trace into headline numbers."""
+    if not records:
+        return {
+            "iterations": 0,
+            "total_host_link_bytes": 0,
+            "total_edges": 0,
+            "total_seconds": 0.0,
+            "peak_frontier": 0,
+            "offloaded_iterations": 0,
+        }
+    return {
+        "iterations": len(records),
+        "total_host_link_bytes": sum(r.host_link_bytes for r in records),
+        "total_edges": sum(r.edges_traversed for r in records),
+        "total_seconds": sum(
+            r.traverse_seconds + r.movement_seconds + r.apply_seconds + r.sync_seconds
+            for r in records
+        ),
+        "peak_frontier": max(r.frontier_size for r in records),
+        "offloaded_iterations": sum(r.offloaded for r in records),
+    }
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """Per-iteration comparison of two traces of the same workload."""
+
+    label_a: str
+    label_b: str
+    bytes_a: np.ndarray
+    bytes_b: np.ndarray
+
+    @property
+    def num_iterations(self) -> int:
+        return int(self.bytes_a.size)
+
+    def winner_per_iteration(self) -> List[str]:
+        """``label_a``/``label_b``/``tie`` per iteration."""
+        out = []
+        for a, b in zip(self.bytes_a, self.bytes_b):
+            if a < b:
+                out.append(self.label_a)
+            elif b < a:
+                out.append(self.label_b)
+            else:
+                out.append("tie")
+        return out
+
+    def crossover_iterations(self) -> List[int]:
+        """Iterations where the (strict) winner changes from the previous one."""
+        winners = [
+            w for w in self.winner_per_iteration()
+        ]
+        crossings = []
+        prev = None
+        for i, w in enumerate(winners):
+            if w == "tie":
+                continue
+            if prev is not None and w != prev:
+                crossings.append(i)
+            prev = w
+        return crossings
+
+    def cumulative_gap(self) -> np.ndarray:
+        """Running ``Σ(bytes_a - bytes_b)``; negative = ``a`` ahead."""
+        return np.cumsum(self.bytes_a.astype(np.int64) - self.bytes_b.astype(np.int64))
+
+    def total_ratio(self) -> float:
+        """``total_a / total_b``."""
+        total_b = self.bytes_b.sum()
+        return float(self.bytes_a.sum() / total_b) if total_b else np.inf
+
+
+def compare_traces(
+    a: Sequence[IterationRecord],
+    b: Sequence[IterationRecord],
+    *,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> TraceComparison:
+    """Align two traces of the same workload and compare per-iteration bytes.
+
+    Both traces must cover the same kernel and graph; runs may differ in
+    length (a converged earlier), in which case the shorter one is padded
+    with zero movement.
+    """
+    if not a or not b:
+        raise ReproError("cannot compare empty traces")
+    if (a[0].kernel, a[0].graph) != (b[0].kernel, b[0].graph):
+        raise ReproError(
+            "traces cover different workloads: "
+            f"{a[0].kernel}/{a[0].graph} vs {b[0].kernel}/{b[0].graph}"
+        )
+    n = max(len(a), len(b))
+    bytes_a = np.zeros(n, dtype=np.int64)
+    bytes_b = np.zeros(n, dtype=np.int64)
+    bytes_a[: len(a)] = [r.host_link_bytes for r in a]
+    bytes_b[: len(b)] = [r.host_link_bytes for r in b]
+    return TraceComparison(
+        label_a=label_a, label_b=label_b, bytes_a=bytes_a, bytes_b=bytes_b
+    )

@@ -1,0 +1,92 @@
+"""Trace serialization: CSV and JSONL, with lossless round trips."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.errors import ReproError
+from repro.trace.record import IterationRecord
+
+PathLike = Union[str, Path]
+
+_INT_FIELDS = {
+    "num_parts",
+    "iteration",
+    "frontier_size",
+    "edges_traversed",
+    "distinct_destinations",
+    "partial_update_pairs",
+    "cross_update_pairs",
+    "changed_vertices",
+    "offloaded",
+    "offloaded_parts",
+    "host_link_bytes",
+    "network_bytes",
+    "sync_participants",
+}
+_FLOAT_FIELDS = {
+    "traverse_seconds",
+    "movement_seconds",
+    "apply_seconds",
+    "sync_seconds",
+    "traverse_ops",
+    "apply_ops",
+}
+
+
+def write_trace_csv(records: Sequence[IterationRecord], path: PathLike) -> None:
+    """Write records as CSV with a header row."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=IterationRecord.field_names())
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record.as_dict())
+
+
+def load_trace_csv(path: PathLike) -> List[IterationRecord]:
+    """Load records written by :func:`write_trace_csv`."""
+    records = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        expected = set(IterationRecord.field_names())
+        if reader.fieldnames is None or set(reader.fieldnames) != expected:
+            raise ReproError(f"{path}: not a repro trace CSV (bad header)")
+        for row in reader:
+            records.append(_record_from_strings(row))
+    return records
+
+
+def write_trace_jsonl(records: Sequence[IterationRecord], path: PathLike) -> None:
+    """Write one JSON object per line."""
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record.as_dict()) + "\n")
+
+
+def load_trace_jsonl(path: PathLike) -> List[IterationRecord]:
+    """Load records written by :func:`write_trace_jsonl`."""
+    records = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path}:{lineno}: invalid JSON") from exc
+        records.append(IterationRecord(**payload))
+    return records
+
+
+def _record_from_strings(row: dict) -> IterationRecord:
+    converted = {}
+    for key, value in row.items():
+        if key in _INT_FIELDS:
+            converted[key] = int(value)
+        elif key in _FLOAT_FIELDS:
+            converted[key] = float(value)
+        else:
+            converted[key] = value
+    return IterationRecord(**converted)

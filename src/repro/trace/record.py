@@ -1,0 +1,80 @@
+"""Flat per-iteration trace records."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import List
+
+from repro.arch.results import RunResult
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One iteration of one run, flattened for serialization.
+
+    Field order is the CSV column order; all values are plain ints/floats/
+    strings so records survive a CSV round trip losslessly.
+    """
+
+    architecture: str
+    kernel: str
+    graph: str
+    num_parts: int
+    iteration: int
+    frontier_size: int
+    edges_traversed: int
+    distinct_destinations: int
+    partial_update_pairs: int
+    cross_update_pairs: int
+    changed_vertices: int
+    offloaded: int  # 0/1 for CSV friendliness
+    offloaded_parts: int
+    host_link_bytes: int
+    network_bytes: int
+    traverse_seconds: float
+    movement_seconds: float
+    apply_seconds: float
+    sync_seconds: float
+    traverse_ops: float
+    apply_ops: float
+    sync_participants: int
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def field_names(cls) -> List[str]:
+        return [f.name for f in fields(cls)]
+
+
+def trace_run(run: RunResult) -> List[IterationRecord]:
+    """Flatten a run into per-iteration records."""
+    records = []
+    for stats in run.iterations:
+        records.append(
+            IterationRecord(
+                architecture=run.architecture,
+                kernel=run.kernel,
+                graph=run.graph_name,
+                num_parts=run.num_parts,
+                iteration=stats.iteration,
+                frontier_size=stats.frontier_size,
+                edges_traversed=stats.edges_traversed,
+                distinct_destinations=stats.distinct_destinations,
+                partial_update_pairs=stats.partial_update_pairs,
+                cross_update_pairs=stats.cross_update_pairs,
+                changed_vertices=stats.changed_vertices,
+                offloaded=int(stats.offloaded),
+                offloaded_parts=stats.offloaded_parts,
+                host_link_bytes=stats.host_link_bytes,
+                network_bytes=stats.network_bytes,
+                traverse_seconds=stats.traverse_seconds,
+                movement_seconds=stats.movement_seconds,
+                apply_seconds=stats.apply_seconds,
+                sync_seconds=stats.sync_seconds,
+                traverse_ops=stats.traverse_ops,
+                apply_ops=stats.apply_ops,
+                sync_participants=stats.sync_participants,
+            )
+        )
+    return records

@@ -1,0 +1,40 @@
+"""Shared utilities: RNG seeding, unit formatting, validation, tables."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.units import (
+    format_bytes,
+    format_count,
+    format_rate,
+    parse_bytes,
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+)
+from repro.utils.validation import (
+    check_dtype_integer,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "format_bytes",
+    "format_count",
+    "format_rate",
+    "parse_bytes",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "check_dtype_integer",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_type",
+    "TextTable",
+]

@@ -1,0 +1,114 @@
+"""Terminal-friendly charts for the figure experiments.
+
+Figures are reproduced as numeric series; these renderers add a visual
+form that works in logs and CI output — a multi-series scatter/line chart
+and a horizontal bar chart.  No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+#: plot glyphs assigned to series in insertion order
+_MARKERS = "o*x+#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_labels: Optional[Sequence[object]] = None,
+    y_format: str = "{:.3g}",
+) -> str:
+    """Render multiple numeric series on one character grid.
+
+    Each series gets a marker from ``o * x + …``; points are plotted on a
+    ``width x height`` grid scaled to the global min/max, with a y-axis
+    scale, an x-axis line, and a legend.
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    lengths = {len(v) for v in series.values()}
+    if 0 in lengths:
+        raise ValueError("series must be non-empty")
+    n = max(lengths)
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+
+    all_values = [float(v) for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), marker in zip(series.items(), _MARKERS):
+        for i, value in enumerate(values):
+            x = 0 if n == 1 else round(i * (width - 1) / (n - 1))
+            norm = (float(value) - lo) / (hi - lo)
+            y = height - 1 - round(norm * (height - 1))
+            grid[y][x] = marker
+
+    label_hi = y_format.format(hi)
+    label_lo = y_format.format(lo)
+    gutter = max(len(label_hi), len(label_lo))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = label_hi.rjust(gutter)
+        elif row_idx == height - 1:
+            prefix = label_lo.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    if x_labels is not None and len(x_labels) >= 2:
+        axis = f"{x_labels[0]}" + " " * max(
+            1, width - len(str(x_labels[0])) - len(str(x_labels[-1]))
+        ) + f"{x_labels[-1]}"
+        lines.append(" " * gutter + "  " + axis)
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 48,
+    title: str = "",
+    value_format: str = "{:.3g}",
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart; an optional ``reference`` draws a marker line.
+
+    Bars scale to the max of the values and the reference, so a reference
+    of 1.0 turns ratio data into a win/lose display.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("bar_chart needs at least one bar")
+    peak = max(list(values) + ([reference] if reference is not None else []))
+    peak = max(float(peak), 1e-12)
+    name_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    ref_col = (
+        round(float(reference) / peak * width) if reference is not None else None
+    )
+    for label, value in zip(labels, values):
+        filled = round(float(value) / peak * width)
+        bar = list("#" * filled + " " * (width - filled))
+        if ref_col is not None and 0 <= ref_col < width:
+            bar[ref_col] = "|" if bar[ref_col] == " " else "+"
+        lines.append(
+            f"{str(label).rjust(name_width)} [{''.join(bar)}] "
+            + value_format.format(float(value))
+        )
+    return "\n".join(lines)

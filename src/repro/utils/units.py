@@ -1,0 +1,67 @@
+"""Byte/bandwidth unit constants, parsing and human-readable formatting."""
+
+from __future__ import annotations
+
+import re
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+
+_UNIT_FACTORS = {
+    "b": 1,
+    "kb": 10**3,
+    "mb": 10**6,
+    "gb": 10**9,
+    "tb": 10**12,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+}
+
+_PARSE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)?\s*$")
+
+
+def parse_bytes(value: "str | int | float") -> int:
+    """Parse ``'1.5GiB'``-style strings (or plain numbers) into bytes."""
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise ValueError(f"byte count must be >= 0, got {value}")
+        return int(value)
+    match = _PARSE_RE.match(value)
+    if not match:
+        raise ValueError(f"cannot parse byte quantity {value!r}")
+    number, unit = match.groups()
+    factor = _UNIT_FACTORS.get((unit or "b").lower())
+    if factor is None:
+        raise ValueError(f"unknown byte unit {unit!r} in {value!r}")
+    return int(float(number) * factor)
+
+
+def format_bytes(n: "int | float", precision: int = 2) -> str:
+    """Format a byte count with a binary suffix, e.g. ``format_bytes(3 * MiB)``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for suffix, factor in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if n >= factor:
+            return f"{sign}{n / factor:.{precision}f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_count(n: "int | float", precision: int = 2) -> str:
+    """Format a large count with an SI suffix (``1.40 B`` edges, ``41.00 M`` nodes)."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for suffix, factor in (("T", 10**12), ("B", 10**9), ("M", 10**6), ("K", 10**3)):
+        if n >= factor:
+            return f"{sign}{n / factor:.{precision}f}{suffix}"
+    return f"{sign}{n:.0f}"
+
+
+def format_rate(bytes_per_second: "int | float", precision: int = 2) -> str:
+    """Format a bandwidth figure, e.g. ``'1.10 TiB/s'``."""
+    return f"{format_bytes(bytes_per_second, precision)}/s"

@@ -1,0 +1,42 @@
+"""Small argument-validation helpers used across the library.
+
+They raise built-in exception types (``TypeError``/``ValueError``) because a
+bad argument is a caller bug, not a library failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def check_type(name: str, value: Any, *types: type) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of one of ``types``."""
+    if not isinstance(value, types):
+        expected = " or ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+
+
+def check_positive(name: str, value: "int | float") -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+
+
+def check_nonnegative(name: str, value: "int | float") -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_in_range(name: str, value: "int | float", lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+
+
+def check_dtype_integer(name: str, array: np.ndarray) -> None:
+    """Raise ``TypeError`` unless ``array`` has an integer dtype."""
+    if not np.issubdtype(array.dtype, np.integer):
+        raise TypeError(f"{name} must have an integer dtype, got {array.dtype}")

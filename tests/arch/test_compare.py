@@ -1,0 +1,86 @@
+"""Tests for the cross-architecture comparison harness (Table II)."""
+
+import pytest
+
+from repro.arch.compare import compare_architectures
+from repro.kernels.pagerank import PageRank
+from repro.runtime.config import SystemConfig
+
+
+@pytest.fixture(scope="module")
+def comparison(lj_tiny):
+    return compare_architectures(
+        lj_tiny,
+        PageRank(max_iterations=4),
+        config=SystemConfig(num_compute_nodes=1, num_memory_nodes=8),
+        max_iterations=4,
+        graph_name="lj-tiny",
+        demand_scale=2e8,
+        target_iteration_seconds=10.0,
+    )
+
+
+class TestComparison:
+    def test_four_rows_in_order(self, comparison):
+        names = [r.architecture for r in comparison.rows]
+        assert names == [
+            "distributed",
+            "distributed-ndp",
+            "disaggregated",
+            "disaggregated-ndp",
+        ]
+
+    def test_near_memory_column(self, comparison):
+        labels = {
+            r.architecture: r.near_memory_acceleration for r in comparison.rows
+        }
+        assert labels == {
+            "distributed": False,
+            "distributed-ndp": True,
+            "disaggregated": False,
+            "disaggregated-ndp": True,
+        }
+
+    def test_disagg_ndp_moves_least(self, comparison):
+        by_arch = {
+            r.architecture: r.total_host_link_bytes for r in comparison.rows
+        }
+        assert by_arch["disaggregated-ndp"] == min(by_arch.values())
+
+    def test_communication_labels(self, comparison):
+        labels = comparison.labels()
+        assert labels["disaggregated-ndp"][0] == "Low"
+        assert labels["distributed"][0] == "High"
+        assert labels["distributed-ndp"][0] == "High"
+
+    def test_sync_labels(self, comparison):
+        labels = comparison.labels()
+        assert labels["distributed"][1] == "High"
+        assert labels["disaggregated"][1] == "Low"
+        assert labels["disaggregated-ndp"][1] == "Low"
+
+    def test_utilization_labels(self, comparison):
+        labels = comparison.labels()
+        assert labels["distributed"][2] == "Skewed"
+        assert labels["distributed-ndp"][2] == "Skewed"
+        assert labels["disaggregated"][2] == "Balanced"
+        assert labels["disaggregated-ndp"][2] == "Balanced"
+
+    def test_matches_paper_table2_exactly(self, comparison):
+        from repro.experiments.table2 import PAPER_LABELS
+
+        assert comparison.labels() == PAPER_LABELS
+
+    def test_row_lookup(self, comparison):
+        assert comparison.row("distributed").architecture == "distributed"
+        with pytest.raises(KeyError):
+            comparison.row("nope")
+
+    def test_table_renders(self, comparison):
+        out = comparison.as_table().render()
+        assert "disaggregated-ndp" in out
+        assert "Comm. Overhead" in out
+
+    def test_runs_attached(self, comparison):
+        for row in comparison.rows:
+            assert row.run.num_iterations == 4

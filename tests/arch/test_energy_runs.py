@@ -1,0 +1,87 @@
+"""Tests for per-run energy estimation."""
+
+import pytest
+
+from repro.arch.compare import compare_architectures
+from repro.arch.disaggregated import DisaggregatedSimulator
+from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
+from repro.arch.energy import estimate_run_energy
+from repro.hardware.energy import EnergyModel
+from repro.kernels.pagerank import PageRank
+from repro.runtime.config import SystemConfig
+
+
+@pytest.fixture(scope="module")
+def paired_runs(lj_tiny):
+    cfg = SystemConfig(num_memory_nodes=4)
+    fetch = DisaggregatedSimulator(cfg).run(
+        lj_tiny, PageRank(max_iterations=4), max_iterations=4
+    )
+    ndp = DisaggregatedNDPSimulator(cfg).run(
+        lj_tiny, PageRank(max_iterations=4), max_iterations=4
+    )
+    return fetch, ndp
+
+
+class TestRunEnergy:
+    def test_breakdown_totals(self, paired_runs):
+        fetch, _ = paired_runs
+        b = estimate_run_energy(fetch)
+        assert b.total_joules == pytest.approx(
+            b.movement_joules + b.compute_joules
+        )
+        # Segment accounting: host-link transfers cross two hops.
+        assert b.network_bytes == 2 * fetch.ledger.host_link_bytes()
+
+    def test_ops_attribution_fetch_vs_offload(self, paired_runs):
+        fetch, ndp = paired_runs
+        b_fetch = estimate_run_energy(fetch)
+        b_ndp = estimate_run_energy(ndp)
+        # No offload: every traversal op runs on the host.
+        assert b_fetch.ndp_ops == 0
+        # Offload: traversal ops move near-data; apply stays on hosts.
+        assert b_ndp.ndp_ops > 0
+        assert b_ndp.host_ops < b_fetch.host_ops
+
+    def test_ndp_saves_energy(self, paired_runs):
+        fetch, ndp = paired_runs
+        assert (
+            estimate_run_energy(ndp).total_joules
+            < estimate_run_energy(fetch).total_joules
+        )
+
+    def test_custom_model(self, paired_runs):
+        fetch, _ = paired_runs
+        cheap_net = EnergyModel(network_pj_per_byte=1.0)
+        assert (
+            estimate_run_energy(fetch, cheap_net).movement_joules
+            < estimate_run_energy(fetch).movement_joules
+        )
+
+    def test_architecture_ordering(self, lj_tiny):
+        comparison = compare_architectures(
+            lj_tiny,
+            PageRank(max_iterations=4),
+            config=SystemConfig(num_memory_nodes=8),
+            max_iterations=4,
+        )
+        energy = {
+            r.architecture: estimate_run_energy(r.run).total_joules
+            for r in comparison.rows
+        }
+        # Disaggregated NDP moves the least and computes near data.
+        assert energy["disaggregated-ndp"] == min(energy.values())
+
+    def test_distributed_ndp_apply_near_data(self, lj_tiny):
+        from repro.arch.distributed import DistributedSimulator
+        from repro.arch.distributed_ndp import DistributedNDPSimulator
+
+        cfg = SystemConfig(num_memory_nodes=4)
+        plain = DistributedSimulator(cfg).run(
+            lj_tiny, PageRank(max_iterations=3), max_iterations=3
+        )
+        ndp = DistributedNDPSimulator(cfg).run(
+            lj_tiny, PageRank(max_iterations=3), max_iterations=3
+        )
+        assert estimate_run_energy(plain).ndp_ops == 0
+        assert estimate_run_energy(ndp).host_ops == 0

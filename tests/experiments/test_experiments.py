@@ -1,0 +1,172 @@
+"""Integration tests: every experiment runs at tiny tier and reproduces the
+paper's qualitative shapes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, fig4, fig5, fig6, fig7, table1, table2
+from repro.experiments import ablations
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run()
+
+    def test_renders(self, result):
+        out = result.render()
+        assert "upmem" in out and "cxl-cms" in out
+
+    def test_capability_cells(self, result):
+        data = result.data
+        assert data["upmem"]["traverse_kernels"] == ["cc", "bfs"]
+        assert data["cxl-cms"]["traverse_kernels"] == [
+            "pagerank", "cc", "sssp", "bfs",
+        ]
+        assert data["switchml-tofino"]["traverse_kernels"] == []
+        assert "pagerank" in data["sharp-switchib2"]["aggregate_kernels"]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run(tier="tiny")
+
+    def test_all_rows_match_paper(self, result):
+        assert result.data["labels"] == result.data["paper_labels"]
+
+    def test_disagg_ndp_cheapest(self, result):
+        assert result.data["bytes"]["disaggregated-ndp"] == min(
+            result.data["bytes"].values()
+        )
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(tier="tiny", max_iterations=5)
+
+    def test_all_eight_points(self, result):
+        assert len(result.data["points"]) == 8
+
+    def test_orange_box_same_memory_different_compute(self, result):
+        # On one graph the kernels share the memory axis but spread on
+        # compute: PR must cost more ops than BFS.
+        points = result.data["points"]
+        pr = points["twitter7-sim/pagerank"]
+        bfs = points["twitter7-sim/bfs"]
+        assert pr["compute_ops"] > bfs["compute_ops"]
+
+    def test_purple_box_memory_spread(self, result):
+        # The two graphs differ in memory footprint for the same kernel.
+        points = result.data["points"]
+        assert (
+            points["twitter7-sim/pagerank"]["memory_bytes"]
+            != points["uk2005-sim/pagerank"]["memory_bytes"]
+        )
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(tier="tiny", max_iterations=3)
+
+    def test_offload_wins_on_dense_graphs(self, result):
+        series = result.data["series"]
+        for name in ("livejournal-sim", "twitter7-sim", "uk2005-sim"):
+            assert series[name]["ratio"] < 1.0, name
+
+    def test_wikitalk_anomaly(self, result):
+        # The paper's headline Fig. 5 observation.
+        assert result.data["series"]["wikitalk-sim"]["ratio"] > 1.0
+
+    def test_twitter_benefit_large(self, result):
+        assert result.data["series"]["twitter7-sim"]["ratio"] < 0.5
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(tier="tiny", partitions=(2, 4, 8, 16, 32), max_iterations=3)
+
+    def test_fetch_flat(self, result):
+        fetch = result.data["series"]["fetch"]
+        assert max(fetch) == pytest.approx(min(fetch), rel=1e-6)
+
+    def test_hash_ndp_grows_with_partitions(self, result):
+        hash_ndp = result.data["series"]["ndp-hash"]
+        assert hash_ndp[-1] > hash_ndp[0]
+
+    def test_hash_ndp_crosses_baseline(self, result):
+        # "the overheads of distribution nullify the benefits of NDP"
+        hash_ndp = result.data["series"]["ndp-hash"]
+        fetch = result.data["series"]["fetch"]
+        assert hash_ndp[0] < fetch[0]
+        assert hash_ndp[-1] > fetch[-1]
+
+    def test_metis_below_hash(self, result):
+        metis = result.data["series"]["ndp-metis"]
+        hash_ndp = result.data["series"]["ndp-hash"]
+        assert all(m <= h for m, h in zip(metis, hash_ndp))
+
+    def test_inc_flat_and_lowest(self, result):
+        inc = result.data["series"]["ndp-metis-inc"]
+        metis = result.data["series"]["ndp-metis"]
+        fetch = result.data["series"]["fetch"]
+        assert all(i <= m for i, m in zip(inc, metis))
+        assert all(i < f for i, f in zip(inc, fetch))
+        # near-flat: the partition count no longer hurts
+        assert max(inc) < 1.25 * min(inc)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(tier="tiny")
+
+    def test_three_panels(self, result):
+        assert set(result.data) == {"a", "b", "c"}
+
+    def test_frontier_driven_kernels_flip_winner(self, result):
+        # CC's early dense frontiers favor offload, its late sparse
+        # frontiers favor fetch: at least one flip per the paper.
+        assert result.data["a"]["winner_flips"] >= 1
+        assert result.data["b"]["winner_flips"] >= 1
+
+    def test_series_lengths_match(self, result):
+        for panel in ("a", "b", "c"):
+            data = result.data[panel]
+            assert len(data["fetch_bytes"]) == len(data["frontier"])
+
+    def test_cc_frontier_decays(self, result):
+        frontier = result.data["a"]["frontier"]
+        assert frontier[0] > frontier[-1]
+
+
+class TestAblations:
+    def test_dynamic_policy(self):
+        result = ablations.run_dynamic_policy(tier="tiny", max_iterations=10)
+        for workload, totals in result.data.items():
+            envelope = min(totals["always"], totals["never"])
+            assert totals["oracle"] <= envelope + 1e-9, workload
+
+    def test_cost_model_fidelity(self):
+        result = ablations.run_cost_model_fidelity(tier="tiny", max_iterations=4)
+        assert 0 <= result.data["mean_error"] < 1.5
+
+    def test_switch_buffer_monotone(self):
+        result = ablations.run_switch_buffer(
+            tier="tiny", max_iterations=2,
+            buffer_bytes=(1 << 10, 1 << 14, 1 << 20),
+        )
+        series = [p["movement_bytes"] for p in result.data["series"]]
+        # Bigger table -> never more movement.
+        assert series == sorted(series, reverse=True)
+        # Tiny table degrades toward the no-INC level.
+        assert series[0] <= result.data["no_inc_bytes"]
+
+
+class TestRegistryCompleteness:
+    def test_every_table_and_figure_has_an_experiment(self):
+        for required in ("table1", "table2", "fig4", "fig5", "fig6", "fig7"):
+            assert required in ALL_EXPERIMENTS

@@ -1,0 +1,54 @@
+"""Contract tests over the experiment registry."""
+
+import inspect
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestExperimentContract:
+    def test_all_paper_artifacts_covered(self):
+        for required in ("table1", "table2", "fig4", "fig5", "fig6", "fig7"):
+            assert required in ALL_EXPERIMENTS
+
+    def test_ablation_suite_present(self):
+        for ablation in (
+            "ablation-dynamic",
+            "ablation-costmodel",
+            "ablation-switch-buffer",
+            "ablation-per-part",
+            "ablation-energy",
+            "ablation-direction",
+            "ablation-timing",
+            "ablation-scale",
+            "ablation-compute-scaling",
+        ):
+            assert ablation in ALL_EXPERIMENTS
+
+    def test_every_experiment_accepts_tier_and_seed(self):
+        # The runner passes tier/seed to everything except table1.
+        for name, fn in ALL_EXPERIMENTS.items():
+            if name == "table1":
+                continue
+            params = inspect.signature(fn).parameters
+            assert "tier" in params, name
+            assert "seed" in params, name
+
+    def test_every_experiment_is_keyword_only(self):
+        for name, fn in ALL_EXPERIMENTS.items():
+            for param in inspect.signature(fn).parameters.values():
+                assert param.kind in (
+                    inspect.Parameter.KEYWORD_ONLY,
+                    inspect.Parameter.VAR_KEYWORD,
+                ), f"{name}.{param.name} must be keyword-only"
+
+    @pytest.mark.parametrize(
+        "name",
+        ["ablation-timing", "ablation-scale", "ablation-compute-scaling"],
+    )
+    def test_new_ablations_run_at_tiny_tier(self, name):
+        result = ALL_EXPERIMENTS[name](tier="tiny")
+        assert result.experiment_id == name
+        assert result.render().startswith(f"== {name}")
+        assert result.data

@@ -1,0 +1,54 @@
+"""Rendering contract: figure experiments include their ASCII charts and
+notes, and reports are self-describing."""
+
+import pytest
+
+from repro.experiments import fig5, fig6, fig7
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5.run(tier="tiny", max_iterations=2)
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return fig6.run(tier="tiny", partitions=(2, 4, 8), max_iterations=2)
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return fig7.run(tier="tiny")
+
+
+class TestFigureRendering:
+    def test_fig5_bar_chart_present(self, fig5_result):
+        out = fig5_result.render()
+        assert "break-even" in out
+        assert "[#" in out  # bars rendered
+
+    def test_fig5_reference_marker(self, fig5_result):
+        # The 1.0 break-even line appears inside at least one bar row.
+        out = fig5_result.render()
+        assert "|" in out.split("break-even")[1]
+
+    def test_fig6_line_chart_present(self, fig6_result):
+        out = fig6_result.render()
+        assert "movement (MB) vs partition count" in out
+        for marker, name in (("o", "fetch"), ("*", "ndp-hash"), ("x", "ndp-metis")):
+            assert f"{marker} {name}" in out
+
+    def test_fig7_chart_per_panel(self, fig7_result):
+        out = fig7_result.render()
+        assert out.count("movement (KB) per iteration") >= 2
+
+    def test_notes_rendered(self, fig5_result, fig6_result, fig7_result):
+        for result in (fig5_result, fig6_result, fig7_result):
+            assert "note:" in result.render()
+
+    def test_headers_identify_experiment(self, fig5_result):
+        assert fig5_result.render().startswith("== fig5:")
+
+    def test_tables_before_charts(self, fig6_result):
+        out = fig6_result.render()
+        assert out.index("partitions") < out.index("o fetch")

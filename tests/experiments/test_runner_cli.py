@@ -1,0 +1,53 @@
+"""Tests for the experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import build_parser, main, run_experiment
+
+
+class TestRunExperiment:
+    def test_table1(self):
+        report = run_experiment("table1")
+        assert "Table I" in report
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_json_export(self, tmp_path):
+        run_experiment("fig5", tier="tiny", json_dir=str(tmp_path))
+        payload = json.loads((tmp_path / "fig5.json").read_text())
+        assert "series" in payload
+        assert payload["series"]["wikitalk-sim"]["ratio"] > 1.0
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "fig4", "fig5", "fig6", "fig7"):
+            assert name in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "NDP device capabilities" in capsys.readouterr().out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "nothing"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_with_tier(self, capsys):
+        assert main(["run", "fig5", "--tier", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "wikitalk-sim" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_tier_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig5", "--tier", "huge"])

@@ -1,0 +1,132 @@
+"""Unit tests for incremental graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, from_edge_array
+from repro.graph.csr import CSRGraph
+
+
+class TestGraphBuilder:
+    def test_single_edges(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 2)
+        g = b.build()
+        assert g.num_edges == 2
+        assert list(g.neighbors(0)) == [1]
+
+    def test_count_tracks_additions(self):
+        b = GraphBuilder()
+        assert b.num_buffered_edges == 0
+        b.add_edge(0, 1)
+        b.add_edges([1, 2], [2, 3])
+        assert b.num_buffered_edges == 3
+
+    def test_bulk_edges(self):
+        b = GraphBuilder(num_vertices=10)
+        b.add_edges(np.arange(5), np.arange(5) + 1)
+        g = b.build()
+        assert g.num_vertices == 10
+        assert g.num_edges == 5
+
+    def test_mixed_single_and_bulk(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edges([2, 3], [3, 4])
+        b.add_edge(4, 0)
+        g = b.build()
+        assert g.num_edges == 4
+
+    def test_edge_pairs(self):
+        b = GraphBuilder()
+        b.add_edge_pairs([(0, 1), (1, 2)])
+        assert b.build().num_edges == 2
+
+    def test_many_edges_crosses_chunk_boundary(self):
+        b = GraphBuilder()
+        n = 70_000  # > internal chunk of 65536
+        for i in range(0, n, 1000):
+            b.add_edges(
+                np.full(1000, i % 50), (np.arange(1000) + i) % 100
+            )
+        g = b.build()
+        assert g.num_edges == n
+
+    def test_weighted_builder(self):
+        b = GraphBuilder(weighted=True)
+        b.add_edge(0, 1, 3.5)
+        b.add_edges([1], [2], [4.5])
+        g = b.build()
+        assert g.has_weights
+        assert sorted(g.weights.tolist()) == [3.5, 4.5]
+
+    def test_weighted_builder_requires_weight(self):
+        b = GraphBuilder(weighted=True)
+        with pytest.raises(GraphError, match="needs a weight"):
+            b.add_edge(0, 1)
+
+    def test_unweighted_builder_rejects_weight(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError, match="not allowed"):
+            b.add_edge(0, 1, 1.0)
+
+    def test_bulk_weight_validation(self):
+        b = GraphBuilder(weighted=True)
+        with pytest.raises(GraphError, match="needs weights"):
+            b.add_edges([0], [1])
+        with pytest.raises(GraphError, match="match edge count"):
+            b.add_edges([0], [1], [1.0, 2.0])
+
+    def test_negative_ids_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.add_edge(-1, 0)
+        with pytest.raises(GraphError):
+            b.add_edges([-1], [0])
+
+    def test_build_with_dedup(self):
+        b = GraphBuilder()
+        b.add_edges([0, 0, 0], [1, 1, 2])
+        g = b.build(dedup=True)
+        assert g.num_edges == 2
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        g1 = b.build()
+        b.add_edge(1, 2)
+        g2 = b.build()
+        assert g1.num_edges == 1
+        assert g2.num_edges == 2
+
+    def test_empty_build(self):
+        g = GraphBuilder(num_vertices=3).build()
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_negative_num_vertices(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(num_vertices=-1)
+
+
+class TestFromEdgeArray:
+    def test_basic(self):
+        g = from_edge_array(np.array([[0, 1], [1, 2]]))
+        assert g.num_edges == 2
+        assert isinstance(g, CSRGraph)
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphError, match="shape"):
+            from_edge_array(np.array([0, 1, 2]))
+
+    def test_with_weights(self):
+        g = from_edge_array(
+            np.array([[0, 1]]), weights=np.array([2.0])
+        )
+        assert g.weights[0] == 2.0
+
+    def test_dedup(self):
+        g = from_edge_array(np.array([[0, 1], [0, 1]]), dedup=True)
+        assert g.num_edges == 1

@@ -1,0 +1,123 @@
+"""Round-trip and error tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import io
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, grid_graph
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, tiny_er):
+        path = tmp_path / "g.txt"
+        io.write_edge_list(tiny_er, path)
+        loaded = io.read_edge_list(path, num_vertices=tiny_er.num_vertices)
+        assert loaded == tiny_er
+
+    def test_weighted_roundtrip(self, tmp_path, weighted_er):
+        path = tmp_path / "g.txt"
+        io.write_edge_list(weighted_er, path)
+        loaded = io.read_edge_list(
+            path, num_vertices=weighted_er.num_vertices, weighted=True
+        )
+        assert loaded == weighted_er
+
+    def test_comments_skipped(self):
+        g = io.parse_edge_list("# header\n0 1\n# mid comment\n1 2\n")
+        assert g.num_edges == 2
+
+    def test_blank_lines_skipped(self):
+        g = io.parse_edge_list("0 1\n\n\n1 2\n")
+        assert g.num_edges == 2
+
+    def test_missing_column(self):
+        with pytest.raises(GraphFormatError, match="expected"):
+            io.parse_edge_list("0\n")
+
+    def test_non_integer_id(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            io.parse_edge_list("a b\n")
+
+    def test_missing_weight(self):
+        with pytest.raises(GraphFormatError, match="missing weight"):
+            io.parse_edge_list("0 1\n", weighted=True)
+
+    def test_bad_weight(self):
+        with pytest.raises(GraphFormatError, match="bad weight"):
+            io.parse_edge_list("0 1 xyz\n", weighted=True)
+
+    def test_snap_style_header(self):
+        text = "# Nodes: 3 Edges: 2\n0 1\n1 2\n"
+        g = io.parse_edge_list(text)
+        assert g.num_vertices == 3
+
+    def test_dedup_option(self):
+        g = io.parse_edge_list("0 1\n0 1\n", dedup=True)
+        assert g.num_edges == 1
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, tiny_rmat):
+        path = tmp_path / "g.npz"
+        io.save_npz(tiny_rmat, path)
+        assert io.load_npz(path) == tiny_rmat
+
+    def test_weighted_roundtrip(self, tmp_path, weighted_er):
+        path = tmp_path / "g.npz"
+        io.save_npz(weighted_er, path)
+        loaded = io.load_npz(path)
+        assert loaded == weighted_er
+        assert loaded.has_weights
+
+    def test_not_a_graph_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError, match="missing arrays"):
+            io.load_npz(path)
+
+
+class TestMetisFormat:
+    def test_roundtrip_symmetric(self, tmp_path):
+        g = grid_graph(4, 4)
+        path = tmp_path / "g.graph"
+        io.write_metis(g, path)
+        loaded = io.read_metis(path)
+        assert loaded == g
+
+    def test_directed_graph_symmetrized_on_write(self, tmp_path):
+        g = CSRGraph.from_edges([0], [1], 2)
+        path = tmp_path / "g.graph"
+        io.write_metis(g, path)
+        loaded = io.read_metis(path)
+        assert loaded.num_edges == 2  # both directions present
+
+    def test_header_vertex_mismatch(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 1\n2\n1\n")  # declares 3 vertices, has 2 rows
+        with pytest.raises(GraphFormatError, match="adjacency rows"):
+            io.read_metis(path)
+
+    def test_header_edge_mismatch(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="declares 5"):
+            io.read_metis(path)
+
+    def test_out_of_range_vertex(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 1\n5\n1\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            io.read_metis(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.graph"
+        path.write_text("")
+        with pytest.raises(GraphFormatError, match="empty"):
+            io.read_metis(path)
+
+    def test_percent_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("% a comment\n2 1\n2\n1\n")
+        assert io.read_metis(path).num_edges == 2

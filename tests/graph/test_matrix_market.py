@@ -1,0 +1,125 @@
+"""Tests for the MatrixMarket loader/writer (the SuiteSparse drop-in path)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import io
+from repro.graph.csr import CSRGraph
+
+
+class TestReadMatrixMarket:
+    def test_general_pattern(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% comment line\n"
+            "3 3 3\n"
+            "1 2\n"
+            "2 3\n"
+            "3 1\n"
+        )
+        g = io.read_matrix_market(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert list(g.neighbors(0)) == [1]
+
+    def test_real_weights(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 2 3.5\n"
+            "2 1 4.5\n"
+        )
+        g = io.read_matrix_market(path)
+        assert g.has_weights
+        assert sorted(g.weights.tolist()) == [3.5, 4.5]
+
+    def test_symmetric_expanded(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        g = io.read_matrix_market(path)
+        assert g.num_edges == 4  # both directions present
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [0, 2]
+
+    def test_symmetric_diagonal_not_doubled(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "2 2 2\n"
+            "1 1\n"
+            "2 1\n"
+        )
+        g = io.read_matrix_market(path)
+        assert g.num_edges == 3  # self loop once + both directions of (2,1)
+
+    def test_rectangular_uses_max_dim(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 5 1\n"
+            "1 5\n"
+        )
+        assert io.read_matrix_market(path).num_vertices == 5
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("3 3 0\n")
+        with pytest.raises(GraphFormatError, match="header"):
+            io.read_matrix_market(path)
+
+    def test_dense_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(GraphFormatError, match="coordinate"):
+            io.read_matrix_market(path)
+
+    def test_entry_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n"
+        )
+        with pytest.raises(GraphFormatError, match="declares 2"):
+            io.read_matrix_market(path)
+
+    def test_out_of_bounds_entry(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 9\n"
+        )
+        with pytest.raises(GraphFormatError, match="bounds"):
+            io.read_matrix_market(path)
+
+    def test_missing_value_for_real(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n"
+        )
+        with pytest.raises(GraphFormatError, match="bad entry"):
+            io.read_matrix_market(path)
+
+
+class TestWriteMatrixMarket:
+    def test_roundtrip_unweighted(self, tmp_path, tiny_er):
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(tiny_er, path)
+        loaded = io.read_matrix_market(path)
+        # vertex count may shrink if trailing vertices are isolated
+        assert loaded.num_edges == tiny_er.num_edges
+        s1, d1 = tiny_er.edge_array()
+        s2, d2 = loaded.edge_array()
+        assert np.array_equal(s1, s2) and np.array_equal(d1, d2)
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_er):
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(weighted_er, path)
+        loaded = io.read_matrix_market(path)
+        assert loaded.has_weights
+        assert np.allclose(np.sort(loaded.weights), np.sort(weighted_er.weights))

@@ -1,0 +1,81 @@
+"""Unit tests for the vertex property store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.properties import VertexPropertyStore
+
+
+class TestVertexPropertyStore:
+    def test_add_and_get(self):
+        store = VertexPropertyStore(5)
+        arr = store.add("rank", np.float64, fill=0.5)
+        assert np.all(store.get("rank") == 0.5)
+        assert store.get("rank") is arr  # mutable view
+
+    def test_add_duplicate_rejected(self):
+        store = VertexPropertyStore(3)
+        store.add("x")
+        with pytest.raises(GraphError, match="already exists"):
+            store.add("x")
+
+    def test_get_unknown(self):
+        with pytest.raises(GraphError, match="unknown property"):
+            VertexPropertyStore(3).get("nope")
+
+    def test_set_copies(self):
+        store = VertexPropertyStore(3)
+        values = np.arange(3.0)
+        stored = store.set("y", values)
+        values[0] = 99
+        assert stored[0] == 0.0
+
+    def test_set_shape_checked(self):
+        with pytest.raises(GraphError, match="shape"):
+            VertexPropertyStore(3).set("y", np.arange(4))
+
+    def test_drop(self):
+        store = VertexPropertyStore(3)
+        store.add("x")
+        store.drop("x")
+        assert "x" not in store
+
+    def test_drop_unknown(self):
+        with pytest.raises(GraphError):
+            VertexPropertyStore(3).drop("x")
+
+    def test_container_protocol(self):
+        store = VertexPropertyStore(2)
+        store.add("a")
+        store.add("b", np.int64)
+        assert len(store) == 2
+        assert set(store) == {"a", "b"}
+        assert store.names() == ("a", "b")
+
+    def test_bytes_per_vertex(self):
+        store = VertexPropertyStore(4)
+        store.add("rank", np.float64)
+        store.add("level", np.int32)
+        assert store.bytes_per_vertex() == 12
+
+    def test_memory_footprint(self):
+        store = VertexPropertyStore(4)
+        store.add("rank", np.float64)
+        assert store.memory_footprint_bytes() == 32
+
+    def test_snapshot_is_deep(self):
+        store = VertexPropertyStore(2)
+        store.add("x", fill=1.0)
+        snap = store.snapshot()
+        store.get("x")[0] = 5.0
+        assert snap["x"][0] == 1.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            VertexPropertyStore(-1)
+
+    def test_zero_vertices(self):
+        store = VertexPropertyStore(0)
+        arr = store.add("x")
+        assert arr.size == 0

@@ -1,0 +1,48 @@
+"""Unit tests for the first-order energy model."""
+
+import pytest
+
+from repro.hardware.catalog import CXL_CMS, HOST_XEON
+from repro.hardware.energy import EnergyModel, estimate_energy
+
+
+class TestEnergyModel:
+    def test_network_dominates_per_byte(self):
+        m = EnergyModel()
+        net = m.movement_joules(1000, 0, 0)
+        local = m.movement_joules(0, 1000, 0)
+        ndp = m.movement_joules(0, 0, 1000)
+        assert net > local > ndp
+
+    def test_compute_cheaper_near_data(self):
+        m = EnergyModel()
+        assert m.compute_joules(CXL_CMS, 1e6) < m.compute_joules(HOST_XEON, 1e6)
+
+    def test_zero_inputs(self):
+        assert estimate_energy(network_bytes=0) == 0.0
+
+    def test_totals_add_up(self):
+        m = EnergyModel()
+        total = estimate_energy(
+            network_bytes=100,
+            local_bytes=50,
+            ndp_bytes=25,
+            host_ops=10,
+            ndp_ops=5,
+            model=m,
+        )
+        expected = (
+            m.movement_joules(100, 50, 25)
+            + 1e-12 * (10 * m.host_pj_per_op + 5 * m.ndp_pj_per_op)
+        )
+        assert total == pytest.approx(expected)
+
+    def test_offload_energy_story(self):
+        # Moving edges over the network costs more energy than executing
+        # the same traversal near data: the core NDP energy argument.
+        edges = 1_000_000
+        fetch = estimate_energy(network_bytes=8 * edges, host_ops=2 * edges)
+        offload = estimate_energy(
+            network_bytes=16 * 1000, ndp_bytes=8 * edges, ndp_ops=2 * edges
+        )
+        assert offload < fetch / 10

@@ -1,0 +1,124 @@
+"""Host-only kernels: triangle counting and approximate betweenness."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.arch.disaggregated import DisaggregatedSimulator
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi, path_graph, ring_graph
+from repro.kernels.betweenness import ApproxBetweenness
+from repro.kernels.triangle import TriangleCounting
+from repro.runtime.config import SystemConfig
+
+
+def to_nx_undirected(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.edge_array()
+    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return g
+
+
+class TestTriangleCounting:
+    def test_triangle(self):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 0], 3)
+        kernel = TriangleCounting()
+        state = kernel.run_host(g)
+        assert kernel.total(state) == 1
+        assert list(kernel.result(state)) == [1, 1, 1]
+
+    def test_complete_graph(self):
+        kernel = TriangleCounting()
+        state = kernel.run_host(complete_graph(6))
+        assert kernel.total(state) == 20  # C(6,3)
+
+    def test_triangle_free(self):
+        kernel = TriangleCounting()
+        state = kernel.run_host(path_graph(10))
+        assert kernel.total(state) == 0
+
+    def test_matches_networkx(self, tiny_er):
+        kernel = TriangleCounting()
+        state = kernel.run_host(tiny_er)
+        nx_tri = nx.triangles(to_nx_undirected(tiny_er))
+        result = kernel.result(state)
+        for v in range(tiny_er.num_vertices):
+            assert result[v] == nx_tri[v]
+
+    def test_empty_graph(self):
+        kernel = TriangleCounting()
+        state = kernel.run_host(CSRGraph.empty(4))
+        assert kernel.total(state) == 0
+
+    def test_rejected_by_engine(self, tiny_er):
+        sim = DisaggregatedSimulator(SystemConfig(num_memory_nodes=2))
+        with pytest.raises(SimulationError, match="host-only"):
+            sim.run(tiny_er, TriangleCounting())
+
+    def test_compute_profile_flags(self):
+        # Needs complex integer ops -> must be refused by weak devices.
+        assert TriangleCounting().compute.needs_int_muldiv
+        assert not TriangleCounting().supports_engine
+
+
+class TestApproxBetweenness:
+    def test_ring_uniform(self):
+        kernel = ApproxBetweenness(num_samples=12, seed=1)
+        state = kernel.run_host(ring_graph(12, directed=True))
+        bc = kernel.result(state)
+        # ring symmetry: all vertices equal
+        assert np.allclose(bc, bc[0], rtol=1e-9)
+        assert bc[0] > 0
+
+    def test_path_center_highest(self):
+        g = path_graph(7, directed=True)
+        kernel = ApproxBetweenness(num_samples=7, seed=1)
+        bc = kernel.result(kernel.run_host(g))
+        assert bc.argmax() in (2, 3)
+        assert bc[0] == pytest.approx(bc[0])  # endpoints not max
+        assert bc[3] >= bc[1]
+
+    def test_exact_when_sampling_all_sources(self):
+        g = path_graph(6, directed=True)
+        kernel = ApproxBetweenness(num_samples=6, seed=2)
+        bc = kernel.result(kernel.run_host(g))
+        G = nx.DiGraph()
+        G.add_nodes_from(range(6))
+        src, dst = g.edge_array()
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        expected = nx.betweenness_centrality(G, normalized=False)
+        for v in range(6):
+            assert bc[v] == pytest.approx(expected[v], rel=1e-9)
+
+    def test_exact_on_random_graph_full_sampling(self):
+        g = erdos_renyi(40, 200, seed=6)
+        kernel = ApproxBetweenness(num_samples=40, seed=3)
+        bc = kernel.result(kernel.run_host(g))
+        G = nx.DiGraph()
+        G.add_nodes_from(range(40))
+        src, dst = g.edge_array()
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        expected = nx.betweenness_centrality(G, normalized=False)
+        for v in range(40):
+            assert bc[v] == pytest.approx(expected[v], rel=1e-6, abs=1e-9)
+
+    def test_sampling_is_deterministic(self, tiny_er):
+        k1 = ApproxBetweenness(num_samples=4, seed=9)
+        k2 = ApproxBetweenness(num_samples=4, seed=9)
+        assert np.array_equal(
+            k1.result(k1.run_host(tiny_er)), k2.result(k2.run_host(tiny_er))
+        )
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            ApproxBetweenness(num_samples=0)
+
+    def test_empty_graph(self):
+        kernel = ApproxBetweenness(num_samples=2)
+        state = kernel.run_host(CSRGraph.empty(0))
+        assert kernel.result(state).size == 0
+
+    def test_needs_fp_capability(self):
+        assert ApproxBetweenness().compute.needs_fp

@@ -1,0 +1,117 @@
+"""Unit tests for the vertex-program abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.kernels.base import ComputeProfile, KernelState, MessageSpec
+from repro.kernels.bfs import BFS
+from repro.kernels.pagerank import PageRank
+from repro.kernels.registry import PAPER_KERNELS, get_kernel, list_kernels
+
+
+class TestMessageSpec:
+    def test_wire_bytes(self):
+        spec = MessageSpec(value_bytes=8, reduce="sum")
+        assert spec.wire_bytes == 16
+
+    def test_pagerank_update_is_16_bytes(self):
+        # Section IV.A: PageRank updates are 16 bytes on the wire.
+        assert PageRank().message.wire_bytes == 16
+
+    def test_identities(self):
+        assert MessageSpec(8, "sum").identity == 0.0
+        assert MessageSpec(8, "min").identity == np.inf
+        assert MessageSpec(8, "max").identity == -np.inf
+
+    def test_bad_reduce(self):
+        with pytest.raises(KernelError):
+            MessageSpec(8, "xor")
+
+    def test_negative_bytes(self):
+        with pytest.raises(KernelError):
+            MessageSpec(-1, "sum")
+
+    @pytest.mark.parametrize("reduce_op,expected", [
+        ("sum", [3.0, 4.0]),
+        ("min", [1.0, 4.0]),
+        ("max", [2.0, 4.0]),
+    ])
+    def test_combine_at(self, reduce_op, expected):
+        spec = MessageSpec(8, reduce_op)
+        acc = np.full(2, spec.identity)
+        spec.combine_at(acc, np.array([0, 0, 1]), np.array([1.0, 2.0, 4.0]))
+        assert list(acc) == expected
+
+    def test_combine_at_duplicate_indices_unbuffered(self):
+        # np.add.at semantics: every occurrence contributes.
+        spec = MessageSpec(8, "sum")
+        acc = np.zeros(1)
+        spec.combine_at(acc, np.zeros(5, dtype=np.int64), np.ones(5))
+        assert acc[0] == 5.0
+
+
+class TestComputeProfile:
+    def test_op_totals(self):
+        p = ComputeProfile(
+            traverse_flops_per_edge=1.0,
+            traverse_intops_per_edge=2.0,
+            apply_flops_per_update=3.0,
+            apply_intops_per_update=1.0,
+        )
+        assert p.traverse_ops(10) == 30.0
+        assert p.apply_ops(5) == 20.0
+
+    def test_zero_edges(self):
+        assert ComputeProfile().traverse_ops(0) == 0.0
+
+
+class TestKernelState:
+    def test_prop_lookup(self, tiny_er):
+        state = KernelState(graph=tiny_er)
+        state.props["x"] = np.zeros(3)
+        assert state.prop("x") is state.props["x"]
+        with pytest.raises(KernelError):
+            state.prop("y")
+
+    def test_num_vertices(self, tiny_er):
+        assert KernelState(graph=tiny_er).num_vertices == tiny_er.num_vertices
+
+
+class TestSourceValidation:
+    def test_needs_source(self, tiny_er):
+        with pytest.raises(KernelError, match="requires a source"):
+            BFS().initial_state(tiny_er)
+
+    def test_source_out_of_range(self, tiny_er):
+        with pytest.raises(KernelError, match="out of range"):
+            BFS().initial_state(tiny_er, source=tiny_er.num_vertices)
+
+    def test_non_source_kernel_rejects_check(self, tiny_er):
+        with pytest.raises(KernelError, match="does not take"):
+            PageRank().check_source(tiny_er, 0)
+
+
+class TestRegistry:
+    def test_paper_kernels_registered(self):
+        names = list_kernels()
+        for name in PAPER_KERNELS:
+            assert name in names
+
+    def test_all_resolve(self):
+        for name in list_kernels():
+            assert get_kernel(name).name == name
+
+    def test_kwargs_forwarded(self):
+        pr = get_kernel("pagerank", damping=0.7)
+        assert pr.damping == 0.7
+
+    def test_unknown(self):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            get_kernel("quantumrank")
+
+    def test_extension_kernels_present(self):
+        names = list_kernels()
+        for name in ("degree", "kcore", "triangles", "betweenness"):
+            assert name in names

@@ -1,0 +1,73 @@
+"""Strongly connected components (host kernel) vs scipy."""
+
+import numpy as np
+import pytest
+
+from repro.arch.disaggregated import DisaggregatedSimulator
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, path_graph, ring_graph
+from repro.kernels import reference
+from repro.kernels.scc import StronglyConnectedComponents
+from repro.runtime.config import SystemConfig
+
+
+def run_scc(graph):
+    kernel = StronglyConnectedComponents()
+    state = kernel.run_host(graph)
+    return kernel.result(state)
+
+
+class TestSCC:
+    def test_directed_ring_is_one_scc(self):
+        labels = run_scc(ring_graph(6, directed=True))
+        assert np.all(labels == 0)
+
+    def test_path_is_all_singletons(self):
+        labels = run_scc(path_graph(5, directed=True))
+        assert list(labels) == [0, 1, 2, 3, 4]
+
+    def test_two_cycles_with_bridge(self):
+        # cycle {0,1,2} -> bridge -> cycle {3,4}
+        g = CSRGraph.from_edges(
+            [0, 1, 2, 2, 3, 4], [1, 2, 0, 3, 4, 3], 5
+        )
+        labels = run_scc(g)
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == 3
+
+    def test_matches_scipy_on_random_graph(self):
+        g = erdos_renyi(200, 700, seed=3)
+        assert np.array_equal(run_scc(g), reference.scc(g))
+
+    def test_matches_scipy_on_skewed_graph(self, tiny_rmat):
+        assert np.array_equal(run_scc(tiny_rmat), reference.scc(tiny_rmat))
+
+    def test_labels_are_min_ids(self):
+        g = erdos_renyi(100, 400, seed=5)
+        labels = run_scc(g)
+        for comp in np.unique(labels):
+            members = np.nonzero(labels == comp)[0]
+            assert comp == members.min()
+
+    def test_scc_refines_wcc(self, tiny_er):
+        scc_labels = run_scc(tiny_er)
+        wcc_labels = reference.connected_components(tiny_er)
+        # Two vertices in one SCC are necessarily in one WCC.
+        for comp in np.unique(scc_labels):
+            members = np.nonzero(scc_labels == comp)[0]
+            assert np.unique(wcc_labels[members]).size == 1
+
+    def test_empty_graph(self):
+        labels = run_scc(CSRGraph.empty(0))
+        assert labels.size == 0
+
+    def test_engine_rejects_scc(self, tiny_er):
+        sim = DisaggregatedSimulator(SystemConfig(num_memory_nodes=2))
+        with pytest.raises(SimulationError, match="host-only"):
+            sim.run(tiny_er, StronglyConnectedComponents())
+
+    def test_registered(self):
+        from repro.kernels.registry import get_kernel
+
+        assert get_kernel("scc").name == "scc"

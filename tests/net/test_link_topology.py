@@ -1,0 +1,91 @@
+"""Unit tests for links and the star topology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.link import DEFAULT_HOST_LINK, Link, LinkClass
+from repro.net.messages import Transfer
+from repro.net.topology import ClusterTopology
+
+
+class TestLink:
+    def test_alpha_beta(self):
+        link = Link(bandwidth_bps=1e9, latency_s=1e-6)
+        assert link.transfer_seconds(1e9, 1) == pytest.approx(1.0 + 1e-6)
+
+    def test_message_latency_accumulates(self):
+        link = Link(bandwidth_bps=1e9, latency_s=1e-6)
+        one = link.transfer_seconds(1000, 1)
+        ten = link.transfer_seconds(1000, 10)
+        assert ten == pytest.approx(one + 9e-6)
+
+    def test_zero_transfer_free(self):
+        assert DEFAULT_HOST_LINK.transfer_seconds(0, 0) == 0.0
+
+    def test_zero_bytes_one_message_pays_latency(self):
+        link = Link(bandwidth_bps=1e9, latency_s=5e-6)
+        assert link.transfer_seconds(0, 1) == pytest.approx(5e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Link(bandwidth_bps=0)
+        with pytest.raises(ConfigError):
+            Link(bandwidth_bps=1e9, latency_s=-1)
+        with pytest.raises(ConfigError):
+            Link(bandwidth_bps=1e9).transfer_seconds(-1)
+
+
+class TestTransfer:
+    def test_construction(self):
+        t = Transfer(0, "apply", LinkClass.HOST_LINK, 100, 2)
+        assert t.nbytes == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Transfer(0, "apply", LinkClass.HOST_LINK, -1)
+
+
+class TestTopology:
+    def test_construction(self):
+        topo = ClusterTopology(num_compute=2, num_memory=4)
+        assert topo.num_nodes == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterTopology(num_compute=0, num_memory=4)
+        with pytest.raises(ConfigError):
+            ClusterTopology(num_compute=1, num_memory=-1)
+
+    def test_memory_fanin_is_bottleneck(self):
+        topo = ClusterTopology(num_compute=1, num_memory=4)
+        per_node = np.array([100, 100, 100, 10_000_000])
+        msgs = np.ones(4)
+        t = topo.memory_fanin_seconds(per_node, msgs)
+        expected = topo.memory_link.transfer_seconds(10_000_000, 1)
+        assert t == pytest.approx(expected)
+
+    def test_fanin_ignores_idle_nodes(self):
+        topo = ClusterTopology(num_compute=1, num_memory=3)
+        t = topo.memory_fanin_seconds(np.zeros(3), np.zeros(3))
+        assert t == 0.0
+
+    def test_host_fanout_parallel_across_hosts(self):
+        one_host = ClusterTopology(num_compute=1, num_memory=2)
+        four_hosts = ClusterTopology(num_compute=4, num_memory=2)
+        nbytes = 4e9
+        assert four_hosts.host_fanout_seconds(nbytes, 4) < one_host.host_fanout_seconds(
+            nbytes, 4
+        )
+
+    def test_barrier_grows_with_participants(self):
+        topo = ClusterTopology(num_compute=1, num_memory=1)
+        assert topo.barrier_seconds(1) == 0.0
+        assert topo.barrier_seconds(2) > 0
+        assert topo.barrier_seconds(16) > topo.barrier_seconds(4)
+
+    def test_barrier_log_scaling(self):
+        topo = ClusterTopology(num_compute=1, num_memory=1)
+        assert topo.barrier_seconds(16) == pytest.approx(
+            2 * topo.barrier_seconds(4)
+        )

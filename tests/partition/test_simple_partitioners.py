@@ -1,0 +1,158 @@
+"""Unit tests for the non-multilevel partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_graph, ring_graph, star_graph
+from repro.partition import (
+    BFSGrowPartitioner,
+    EdgeBalancedRangePartitioner,
+    HashPartitioner,
+    RandomPartitioner,
+    RangePartitioner,
+    edge_cut,
+    get_partitioner,
+    list_partitioners,
+)
+from repro.partition.base import balance_ratio, edge_balance_ratio
+
+ALL_SIMPLE = [
+    HashPartitioner(),
+    RandomPartitioner(),
+    RangePartitioner(),
+    EdgeBalancedRangePartitioner(),
+    BFSGrowPartitioner(),
+]
+
+
+@pytest.mark.parametrize("partitioner", ALL_SIMPLE, ids=lambda p: p.name)
+class TestCommonContract:
+    def test_every_vertex_assigned(self, partitioner, tiny_rmat):
+        a = partitioner.partition(tiny_rmat, 6, seed=1)
+        assert a.num_vertices == tiny_rmat.num_vertices
+        assert a.num_parts == 6
+        assert a.parts.min() >= 0 and a.parts.max() < 6
+
+    def test_single_part(self, partitioner, tiny_er):
+        a = partitioner.partition(tiny_er, 1, seed=1)
+        assert np.all(a.parts == 0)
+
+    def test_more_parts_than_vertices(self, partitioner):
+        g = ring_graph(3)
+        a = partitioner.partition(g, 8, seed=1)
+        assert a.num_parts == 8
+
+    def test_invalid_num_parts(self, partitioner, tiny_er):
+        with pytest.raises(PartitionError):
+            partitioner.partition(tiny_er, 0)
+
+    def test_deterministic_given_seed(self, partitioner, tiny_rmat):
+        a = partitioner.partition(tiny_rmat, 4, seed=9)
+        b = partitioner.partition(tiny_rmat, 4, seed=9)
+        assert a == b
+
+
+class TestHash:
+    def test_balance_reasonable(self, tiny_rmat):
+        a = HashPartitioner().partition(tiny_rmat, 8)
+        assert balance_ratio(a) < 1.3
+
+    def test_seed_irrelevant(self, tiny_rmat):
+        # Hash placement is deterministic regardless of seed.
+        assert HashPartitioner().partition(tiny_rmat, 4, seed=1) == (
+            HashPartitioner().partition(tiny_rmat, 4, seed=2)
+        )
+
+
+class TestRandom:
+    def test_near_perfect_balance(self, tiny_rmat):
+        a = RandomPartitioner().partition(tiny_rmat, 7, seed=3)
+        sizes = a.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_seed_changes_layout(self, tiny_rmat):
+        a = RandomPartitioner().partition(tiny_rmat, 4, seed=1)
+        b = RandomPartitioner().partition(tiny_rmat, 4, seed=2)
+        assert a != b
+
+
+class TestRange:
+    def test_contiguous(self, tiny_rmat):
+        a = RangePartitioner().partition(tiny_rmat, 4)
+        assert np.all(np.diff(a.parts) >= 0)
+
+    def test_perfect_vertex_balance(self):
+        g = ring_graph(12)
+        a = RangePartitioner().partition(g, 4)
+        assert list(a.sizes()) == [3, 3, 3, 3]
+
+    def test_remainder_spread(self):
+        g = ring_graph(10)
+        a = RangePartitioner().partition(g, 4)
+        sizes = a.sizes()
+        assert sizes.sum() == 10
+        assert sizes.max() - sizes.min() <= 1
+
+
+class TestEdgeBalancedRange:
+    def test_contiguous(self, tiny_rmat):
+        a = EdgeBalancedRangePartitioner().partition(tiny_rmat, 4)
+        assert np.all(np.diff(a.parts) >= 0)
+
+    def test_better_edge_balance_than_vertex_ranges_on_skew(self):
+        # Front-loaded degrees: vertex ranges overload part 0.
+        src = np.repeat(np.arange(10), np.arange(10, 0, -1))
+        dst = (src + 1) % 100
+        g = CSRGraph.from_edges(src, dst, 100)
+        vr = RangePartitioner().partition(g, 4)
+        er = EdgeBalancedRangePartitioner().partition(g, 4)
+        assert edge_balance_ratio(g, er) <= edge_balance_ratio(g, vr)
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(10)
+        a = EdgeBalancedRangePartitioner().partition(g, 3)
+        assert a.num_vertices == 10
+
+
+class TestBFSGrow:
+    def test_locality_beats_hash_on_grid(self):
+        g = grid_graph(16, 16)
+        hash_cut = edge_cut(g, HashPartitioner().partition(g, 4))
+        bfs_cut = edge_cut(g, BFSGrowPartitioner().partition(g, 4, seed=3))
+        assert bfs_cut < hash_cut
+
+    def test_balance(self, tiny_rmat):
+        a = BFSGrowPartitioner().partition(tiny_rmat, 4, seed=1)
+        assert balance_ratio(a) < 1.25
+
+    def test_handles_disconnected(self):
+        # Two disjoint rings; growth must hop components.
+        r = ring_graph(6)
+        src, dst = r.edge_array()
+        g = CSRGraph.from_edges(
+            np.concatenate([src, src + 6]), np.concatenate([dst, dst + 6]), 12
+        )
+        a = BFSGrowPartitioner().partition(g, 4, seed=2)
+        assert a.sizes().sum() == 12
+        assert a.sizes().max() <= 4  # budget respected
+
+    def test_star_graph(self):
+        a = BFSGrowPartitioner().partition(star_graph(20), 3, seed=1)
+        assert a.sizes().sum() == 21
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in list_partitioners():
+            assert get_partitioner(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(PartitionError, match="unknown partitioner"):
+            get_partitioner("quantum")
+
+    def test_expected_names(self):
+        names = list_partitioners()
+        for n in ("hash", "random", "range", "range-edges", "bfs", "metis"):
+            assert n in names

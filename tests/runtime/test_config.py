@@ -1,0 +1,73 @@
+"""Unit tests for SystemConfig."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.catalog import CXL_CMS, HOST_XEON, UPMEM_PIM
+from repro.runtime.config import SystemConfig
+
+
+class TestSystemConfig:
+    def test_defaults(self):
+        cfg = SystemConfig()
+        assert cfg.num_compute_nodes == 1
+        assert cfg.num_memory_nodes == 8
+        assert cfg.ndp_device is CXL_CMS
+        assert not cfg.enable_inc
+
+    def test_validation_counts(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_compute_nodes=0)
+        with pytest.raises(ConfigError):
+            SystemConfig(num_memory_nodes=0)
+
+    def test_host_device_must_be_host(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(host_device=CXL_CMS)
+
+    def test_ndp_device_must_not_be_host(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(ndp_device=HOST_XEON)
+
+    def test_ndp_device_none_allowed(self):
+        assert SystemConfig(ndp_device=None).ndp_device is None
+
+    def test_overlap_fraction_range(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(overlap_fraction=1.5)
+
+    def test_inc_needs_switch(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(enable_inc=True, switch_device=None)
+
+    def test_negative_buffer(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(switch_buffer_bytes=-1)
+
+    def test_topology_dimensions(self):
+        topo = SystemConfig(num_compute_nodes=3, num_memory_nodes=5).topology()
+        assert topo.num_compute == 3
+        assert topo.num_memory == 5
+        assert topo.switch is not None
+
+    def test_topology_without_switch(self):
+        topo = SystemConfig(switch_device=None).topology()
+        assert topo.switch is None
+
+    def test_switch_model_buffer(self):
+        cfg = SystemConfig(switch_buffer_bytes=3200)
+        assert cfg.switch_model().capacity_slots == 100
+
+    def test_with_options(self):
+        cfg = SystemConfig(num_memory_nodes=4)
+        updated = cfg.with_options(num_memory_nodes=16, enable_inc=True)
+        assert updated.num_memory_nodes == 16
+        assert updated.enable_inc
+        assert cfg.num_memory_nodes == 4  # original untouched
+
+    def test_with_options_validates(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().with_options(num_memory_nodes=0)
+
+    def test_pim_device_accepted(self):
+        assert SystemConfig(ndp_device=UPMEM_PIM).ndp_device is UPMEM_PIM

@@ -1,0 +1,139 @@
+"""Unit tests for the offload policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.pagerank import PageRank
+from repro.runtime.offload import (
+    AlwaysOffload,
+    DynamicCostPolicy,
+    IterationOutlook,
+    NeverOffload,
+    OraclePolicy,
+    ThresholdPolicy,
+    get_policy,
+    list_policies,
+)
+
+
+def outlook(
+    frontier=100,
+    edges=1000,
+    n=10_000,
+    parts=4,
+    exact_pairs=None,
+    exact_distinct=None,
+):
+    return IterationOutlook(
+        iteration=0,
+        frontier_size=frontier,
+        edges_traversed=edges,
+        num_vertices=n,
+        num_parts=parts,
+        exact_partial_pairs=exact_pairs,
+        exact_distinct_destinations=exact_distinct,
+    )
+
+
+class TestStaticPolicies:
+    def test_always(self):
+        assert AlwaysOffload().decide(PageRank(), outlook())
+
+    def test_never(self):
+        assert not NeverOffload().decide(PageRank(), outlook())
+
+
+class TestThresholdPolicy:
+    def test_dense_frontier_offloads(self):
+        policy = ThresholdPolicy(min_avg_degree=4.0)
+        assert policy.decide(PageRank(), outlook(frontier=10, edges=100))
+
+    def test_sparse_frontier_fetches(self):
+        policy = ThresholdPolicy(min_avg_degree=4.0)
+        assert not policy.decide(PageRank(), outlook(frontier=100, edges=200))
+
+    def test_empty_frontier(self):
+        policy = ThresholdPolicy()
+        assert not policy.decide(PageRank(), outlook(frontier=0, edges=0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ThresholdPolicy(min_avg_degree=-1)
+
+    def test_avg_degree_property(self):
+        assert outlook(frontier=10, edges=100).avg_frontier_degree == 10.0
+        assert outlook(frontier=0, edges=0).avg_frontier_degree == 0.0
+
+
+class TestDynamicPolicy:
+    def test_dense_graph_offloads(self):
+        # Heavy duplication: 50k edges into 2k vertices — the estimated
+        # distinct destinations are far below the edge count.
+        policy = DynamicCostPolicy()
+        assert policy.decide(
+            PageRank(), outlook(frontier=100, edges=50_000, n=2000)
+        )
+
+    def test_sparse_graph_fetches(self):
+        policy = DynamicCostPolicy()
+        assert not policy.decide(
+            PageRank(), outlook(frontier=1000, edges=1800, n=2000)
+        )
+
+    def test_calibration_shifts_decision(self):
+        # Estimator thinks offload loses; observations reveal far fewer
+        # actual pairs, so after feedback the decision flips.
+        policy = DynamicCostPolicy(ema_alpha=1.0)
+        o = outlook(frontier=1000, edges=4000, n=2000, parts=8)
+        assert not policy.decide(PageRank(), o)
+        policy.observe(o, partial_pairs=100, distinct_destinations=80)
+        assert policy.decide(PageRank(), o)
+
+    def test_calibration_can_be_disabled(self):
+        policy = DynamicCostPolicy(calibrate=False)
+        o = outlook(frontier=1000, edges=4000, n=2000, parts=8)
+        before = policy.decide(PageRank(), o)
+        policy.observe(o, partial_pairs=1, distinct_destinations=1)
+        assert policy.decide(PageRank(), o) == before
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigError):
+            DynamicCostPolicy(ema_alpha=0.0)
+
+
+class TestOraclePolicy:
+    def test_requires_exact_fields(self):
+        with pytest.raises(ConfigError, match="exact counts"):
+            OraclePolicy().decide(PageRank(), outlook())
+
+    def test_decides_from_exact_counts(self):
+        policy = OraclePolicy()
+        win = outlook(frontier=10, edges=10_000, exact_pairs=50, exact_distinct=40)
+        lose = outlook(frontier=100, edges=150, exact_pairs=140, exact_distinct=140)
+        assert policy.decide(PageRank(), win)
+        assert not policy.decide(PageRank(), lose)
+
+    def test_flag(self):
+        assert OraclePolicy.requires_oracle
+        assert not DynamicCostPolicy.requires_oracle
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert set(list_policies()) == {
+            "always",
+            "never",
+            "threshold",
+            "dynamic",
+            "oracle",
+            "per-part",
+        }
+
+    def test_get_with_kwargs(self):
+        p = get_policy("threshold", min_avg_degree=7.0)
+        assert p.min_avg_degree == 7.0
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            get_policy("psychic")

@@ -1,0 +1,196 @@
+"""Tests for per-memory-node (hybrid) offload decisions."""
+
+import numpy as np
+import pytest
+
+from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
+from repro.graph.csr import CSRGraph
+from repro.kernels import reference
+from repro.kernels.pagerank import PageRank
+from repro.partition.range_chunk import RangePartitioner
+from repro.runtime.config import SystemConfig
+from repro.runtime.offload import (
+    IterationOutlook,
+    PerPartCostPolicy,
+    get_policy,
+    list_policies,
+)
+
+
+@pytest.fixture(scope="module")
+def mixed_density_graph():
+    """Dense random half + sparse chain half: range parts differ sharply."""
+    rng = np.random.default_rng(1)
+    half = 1024
+    dsrc = rng.integers(0, half, 30_000)
+    ddst = rng.integers(0, half, 30_000)
+    ssrc = np.arange(half, 2 * half - 1)
+    return CSRGraph.from_edges(
+        np.concatenate([dsrc, ssrc]),
+        np.concatenate([ddst, ssrc + 1]),
+        2 * half,
+        dedup=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_runs(mixed_density_graph):
+    cfg = SystemConfig(num_memory_nodes=8)
+    assignment = RangePartitioner().partition(mixed_density_graph, 8)
+    out = {}
+    for name in ("never", "always", "per-part"):
+        sim = DisaggregatedNDPSimulator(cfg, policy=get_policy(name))
+        out[name] = sim.run(
+            mixed_density_graph,
+            PageRank(max_iterations=4),
+            assignment=assignment,
+            max_iterations=4,
+        )
+    return out
+
+
+class TestPerPartDecisions:
+    def test_registered(self):
+        assert "per-part" in list_policies()
+
+    def test_mask_shape(self):
+        policy = PerPartCostPolicy()
+        outlook = IterationOutlook(
+            iteration=0,
+            frontier_size=100,
+            edges_traversed=1000,
+            num_vertices=1000,
+            num_parts=4,
+            edges_per_part=np.array([5000, 200, 90, 10]),
+            frontier_per_part=np.array([25, 25, 25, 25]),
+        )
+        mask = policy.decide_per_part(PageRank(), outlook)
+        assert mask.shape == (4,)
+        assert mask.dtype == bool
+        # Dense part offloads, near-empty part fetches.
+        assert mask[0]
+        assert not mask[3]
+
+    def test_falls_back_without_part_info(self):
+        policy = PerPartCostPolicy()
+        outlook = IterationOutlook(
+            iteration=0,
+            frontier_size=100,
+            edges_traversed=1000,
+            num_vertices=1000,
+            num_parts=4,
+        )
+        assert policy.decide_per_part(PageRank(), outlook) is None
+
+    def test_oracle_variant_uses_exact_pairs(self):
+        policy = PerPartCostPolicy(oracle=True)
+        assert policy.requires_oracle
+        outlook = IterationOutlook(
+            iteration=0,
+            frontier_size=40,
+            edges_traversed=2000,
+            num_vertices=200,
+            num_parts=2,
+            edges_per_part=np.array([1000, 1000]),
+            frontier_per_part=np.array([20, 20]),
+            exact_partials_per_part=np.array([10, 990]),
+        )
+        mask = policy.decide_per_part(PageRank(), outlook)
+        assert mask[0] and not mask[1]
+
+
+class TestHybridSimulation:
+    def test_numerics_unchanged(self, mixed_density_graph, mixed_runs):
+        expected = reference.pagerank(mixed_density_graph, max_iterations=4)
+        for name, run in mixed_runs.items():
+            assert np.allclose(run.result_property(), expected), name
+
+    def test_per_part_dominates_global(self, mixed_runs):
+        envelope = min(
+            mixed_runs["always"].total_host_link_bytes,
+            mixed_runs["never"].total_host_link_bytes,
+        )
+        assert mixed_runs["per-part"].total_host_link_bytes <= envelope
+
+    def test_mixed_iterations_counted(self, mixed_runs):
+        run = mixed_runs["per-part"]
+        assert run.counters["iterations-mixed"] == run.num_iterations
+        for stats in run.iterations:
+            assert 0 < stats.offloaded_parts < 8
+            assert stats.offloaded
+
+    def test_mixed_bytes_are_split_of_pure_modes(self, mixed_density_graph):
+        """Hybrid movement = offload formula on masked parts + fetch formula
+        on the rest, verified against a manual mask computation."""
+        cfg = SystemConfig(num_memory_nodes=8)
+        assignment = RangePartitioner().partition(mixed_density_graph, 8)
+        kernel = PageRank(max_iterations=1)
+        run = DisaggregatedNDPSimulator(
+            cfg, policy=get_policy("per-part")
+        ).run(
+            mixed_density_graph, kernel, assignment=assignment, max_iterations=1
+        )
+        stats = run.iterations[0]
+        phases = stats.bytes_by_phase
+        total = (
+            phases["frontier-push"]
+            + phases["apply"]
+            + phases["edge-fetch-request"]
+            + phases["edge-fetch"]
+        )
+        assert stats.host_link_bytes == total
+
+    def test_global_masks_reduce_to_pure_modes(self, mixed_density_graph):
+        """An all-True/all-False mask must hit the pure accounting paths."""
+        cfg = SystemConfig(num_memory_nodes=4)
+
+        class AllTrue(PerPartCostPolicy):
+            def decide_per_part(self, kernel, outlook, **kw):
+                return np.ones(outlook.num_parts, dtype=bool)
+
+        class AllFalse(PerPartCostPolicy):
+            def decide_per_part(self, kernel, outlook, **kw):
+                return np.zeros(outlook.num_parts, dtype=bool)
+
+        always = DisaggregatedNDPSimulator(cfg, policy=get_policy("always")).run(
+            mixed_density_graph, PageRank(max_iterations=2), max_iterations=2
+        )
+        via_mask = DisaggregatedNDPSimulator(cfg, policy=AllTrue()).run(
+            mixed_density_graph, PageRank(max_iterations=2), max_iterations=2
+        )
+        assert via_mask.total_host_link_bytes == always.total_host_link_bytes
+
+        never = DisaggregatedNDPSimulator(cfg, policy=get_policy("never")).run(
+            mixed_density_graph, PageRank(max_iterations=2), max_iterations=2
+        )
+        via_mask0 = DisaggregatedNDPSimulator(cfg, policy=AllFalse()).run(
+            mixed_density_graph, PageRank(max_iterations=2), max_iterations=2
+        )
+        assert via_mask0.total_host_link_bytes == never.total_host_link_bytes
+
+    def test_capability_denial_forces_fetch(self, mixed_density_graph):
+        from repro.hardware.catalog import UPMEM_PIM
+
+        cfg = SystemConfig(num_memory_nodes=4, ndp_device=UPMEM_PIM)
+        run = DisaggregatedNDPSimulator(
+            cfg, policy=get_policy("per-part")
+        ).run(mixed_density_graph, PageRank(max_iterations=2), max_iterations=2)
+        assert not any(run.offload_decisions())
+
+    def test_inc_applies_to_offloaded_shards(self, mixed_density_graph):
+        cfg = SystemConfig(num_memory_nodes=8, enable_inc=True)
+        assignment = RangePartitioner().partition(mixed_density_graph, 8)
+        base_cfg = SystemConfig(num_memory_nodes=8)
+        base = DisaggregatedNDPSimulator(
+            base_cfg, policy=get_policy("per-part")
+        ).run(
+            mixed_density_graph, PageRank(max_iterations=2),
+            assignment=assignment, max_iterations=2,
+        )
+        inc = DisaggregatedNDPSimulator(
+            cfg, policy=get_policy("per-part")
+        ).run(
+            mixed_density_graph, PageRank(max_iterations=2),
+            assignment=assignment, max_iterations=2,
+        )
+        assert inc.total_host_link_bytes <= base.total_host_link_bytes

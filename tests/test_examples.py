@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs end to end and prints its
+headline results.  These execute the real scripts in subprocesses, so they
+double as integration tests of the public API surface."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["less data moved", "top-5 vertices"]),
+    ("architecture_comparison.py", ["disaggregated-ndp", "paper-scale projection"]),
+    ("offload_policies.py", ["Per-iteration offload decisions", "oracle"]),
+    ("partitioning_study.py", ["Partition quality", "metis"]),
+    ("social_network_analysis.py", ["Q1", "Q5", "founders community"]),
+    ("custom_kernel_dsl.py", ["opinion-propagation", "denied"]),
+    ("trace_analysis.py", ["crossover iterations", "adaptive"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script}: expected {needle!r} in output\n{result.stdout[-2000:]}"
+        )
+
+
+def test_examples_directory_is_covered():
+    """Every example in the repo has a smoke test (keep CASES in sync)."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == {c[0] for c in CASES}

@@ -1,0 +1,63 @@
+"""The documented public API: everything in ``repro.__all__`` importable and
+the quickstart path working end to end."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_error_hierarchy(self):
+        for err in (
+            repro.GraphError,
+            repro.PartitionError,
+            repro.KernelError,
+            repro.CapabilityError,
+            repro.ConfigError,
+            repro.SimulationError,
+            repro.ExperimentError,
+        ):
+            assert issubclass(err, repro.ReproError)
+
+    def test_quickstart_flow(self):
+        graph, spec = repro.load_dataset("livejournal-sim", tier="tiny", seed=7)
+        sim = repro.DisaggregatedNDPSimulator(
+            repro.SystemConfig(num_memory_nodes=4)
+        )
+        run = sim.run(graph, repro.PageRank(max_iterations=5), graph_name=spec.name)
+        assert run.num_iterations == 5
+        ranks = run.result_property()
+        assert ranks.size == graph.num_vertices
+        assert np.all(ranks > 0)
+
+    def test_docstrings_on_public_classes(self):
+        for name in (
+            "CSRGraph",
+            "MetisPartitioner",
+            "PageRank",
+            "DisaggregatedNDPSimulator",
+            "SystemConfig",
+            "DynamicCostPolicy",
+        ):
+            assert getattr(repro, name).__doc__, name
+
+    def test_registries_agree_with_exports(self):
+        assert set(repro.list_architectures()) == {
+            "distributed",
+            "distributed-ndp",
+            "disaggregated",
+            "disaggregated-ndp",
+        }
+        assert "pagerank" in repro.list_kernels()
+
+    def test_device_catalog_exported(self):
+        names = {d.name for d in repro.device_catalog()}
+        assert "upmem" in names and "cxl-cms" in names

@@ -1,0 +1,159 @@
+"""Tests for run tracing, serialization, and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.arch.disaggregated import DisaggregatedSimulator
+from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
+from repro.errors import ReproError
+from repro.kernels.cc import ConnectedComponents
+from repro.kernels.pagerank import PageRank
+from repro.runtime.config import SystemConfig
+from repro.trace import (
+    IterationRecord,
+    compare_traces,
+    load_trace_csv,
+    load_trace_jsonl,
+    summarize_trace,
+    trace_run,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def cc_runs(twitter_tiny):
+    cfg = SystemConfig(num_memory_nodes=8)
+    fetch = DisaggregatedSimulator(cfg).run(
+        twitter_tiny, ConnectedComponents(), graph_name="tw"
+    )
+    ndp = DisaggregatedNDPSimulator(cfg).run(
+        twitter_tiny, ConnectedComponents(), graph_name="tw"
+    )
+    return fetch, ndp
+
+
+class TestTraceRun:
+    def test_one_record_per_iteration(self, cc_runs):
+        fetch, _ = cc_runs
+        records = trace_run(fetch)
+        assert len(records) == fetch.num_iterations
+        assert records[0].architecture == "disaggregated"
+        assert records[0].kernel == "cc"
+        assert records[0].graph == "tw"
+
+    def test_bytes_preserved(self, cc_runs):
+        fetch, _ = cc_runs
+        records = trace_run(fetch)
+        assert sum(r.host_link_bytes for r in records) == fetch.total_host_link_bytes
+
+    def test_offload_flag_flattened(self, cc_runs):
+        _, ndp = cc_runs
+        records = trace_run(ndp)
+        assert all(r.offloaded == 1 for r in records)
+
+
+class TestSerialization:
+    def test_csv_round_trip(self, cc_runs, tmp_path):
+        records = trace_run(cc_runs[0])
+        path = tmp_path / "trace.csv"
+        write_trace_csv(records, path)
+        assert load_trace_csv(path) == records
+
+    def test_jsonl_round_trip(self, cc_runs, tmp_path):
+        records = trace_run(cc_runs[1])
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(records, path)
+        assert load_trace_jsonl(path) == records
+
+    def test_csv_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ReproError, match="bad header"):
+            load_trace_csv(path)
+
+    def test_jsonl_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ReproError, match="invalid JSON"):
+            load_trace_jsonl(path)
+
+    def test_jsonl_skips_blank_lines(self, cc_runs, tmp_path):
+        records = trace_run(cc_runs[0])
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(records, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert load_trace_jsonl(path) == records
+
+
+class TestSummaries:
+    def test_summary_fields(self, cc_runs):
+        fetch, _ = cc_runs
+        summary = summarize_trace(trace_run(fetch))
+        assert summary["iterations"] == fetch.num_iterations
+        assert summary["total_host_link_bytes"] == fetch.total_host_link_bytes
+        assert summary["peak_frontier"] == max(
+            s.frontier_size for s in fetch.iterations
+        )
+        assert summary["offloaded_iterations"] == 0
+
+    def test_empty_summary(self):
+        assert summarize_trace([])["iterations"] == 0
+
+
+class TestComparison:
+    def test_fig7_style_comparison(self, cc_runs):
+        fetch, ndp = cc_runs
+        cmp = compare_traces(
+            trace_run(fetch), trace_run(ndp), label_a="fetch", label_b="ndp"
+        )
+        winners = cmp.winner_per_iteration()
+        # CC on a skewed graph: NDP wins the dense early iterations,
+        # fetch wins the sparse tail (the Fig. 7a story).
+        assert winners[0] == "ndp"
+        assert winners[-1] == "fetch"
+        assert len(cmp.crossover_iterations()) >= 1
+
+    def test_cumulative_gap_sign(self, cc_runs):
+        fetch, ndp = cc_runs
+        cmp = compare_traces(trace_run(ndp), trace_run(fetch))
+        # NDP's total is lower on this workload: the final gap is negative.
+        assert cmp.cumulative_gap()[-1] < 0
+        assert cmp.total_ratio() < 1.0
+
+    def test_length_padding(self, cc_runs):
+        fetch, _ = cc_runs
+        records = trace_run(fetch)
+        cmp = compare_traces(records, records[:2])
+        assert cmp.num_iterations == len(records)
+        assert cmp.bytes_b[2:].sum() == 0
+
+    def test_workload_mismatch_rejected(self, cc_runs, lj_tiny):
+        fetch, _ = cc_runs
+        other = DisaggregatedSimulator(SystemConfig(num_memory_nodes=4)).run(
+            lj_tiny, PageRank(max_iterations=2), graph_name="lj",
+            max_iterations=2,
+        )
+        with pytest.raises(ReproError, match="different workloads"):
+            compare_traces(trace_run(fetch), trace_run(other))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            compare_traces([], [])
+
+    def test_tie_handling(self):
+        base = dict(
+            architecture="x", kernel="k", graph="g", num_parts=1,
+            iteration=0, frontier_size=1, edges_traversed=1,
+            distinct_destinations=1, partial_update_pairs=1,
+            cross_update_pairs=0, changed_vertices=1, offloaded=0,
+            offloaded_parts=-1, host_link_bytes=100, network_bytes=100,
+            traverse_seconds=0.0, movement_seconds=0.0, apply_seconds=0.0,
+            sync_seconds=0.0, traverse_ops=0.0, apply_ops=0.0,
+            sync_participants=1,
+        )
+        a = [IterationRecord(**base)]
+        b = [IterationRecord(**base)]
+        cmp = compare_traces(a, b)
+        assert cmp.winner_per_iteration() == ["tie"]
+        assert cmp.crossover_iterations() == []

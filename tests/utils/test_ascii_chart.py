@@ -1,0 +1,86 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.utils.ascii_chart import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        out = line_chart(
+            {"up": [1, 2, 3], "down": [3, 2, 1]},
+            title="T",
+            x_labels=[0, 1, 2],
+        )
+        assert "T" in out
+        assert "o up" in out and "* down" in out
+        assert "o" in out.splitlines()[1]  # max of 'up' on top row? somewhere
+
+    def test_extremes_on_grid_edges(self):
+        out = line_chart({"s": [0.0, 10.0]}, height=6, width=10)
+        lines = out.splitlines()
+        top = lines[0]
+        bottom = lines[5]
+        assert "o" in top  # value 10 at the top row
+        assert "o" in bottom  # value 0 at the bottom row
+
+    def test_y_axis_labels(self):
+        out = line_chart({"s": [2.0, 8.0]})
+        assert "8" in out and "2" in out
+
+    def test_constant_series_handled(self):
+        out = line_chart({"s": [5, 5, 5]})
+        assert "o" in out
+
+    def test_single_point(self):
+        out = line_chart({"s": [1.0]})
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+        with pytest.raises(ValueError):
+            line_chart({"s": [1]}, width=4)
+
+    def test_legend_order_matches_markers(self):
+        out = line_chart({"a": [1], "b": [2], "c": [3]})
+        legend = out.splitlines()[-1]
+        assert legend.index("o a") < legend.index("* b") < legend.index("x c")
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_reference_marker(self):
+        out = bar_chart(["x"], [0.5], width=10, reference=1.0)
+        # value 0.5 of peak 1.0 -> 5 filled; reference at column 10 would be
+        # out of grid, so the marker lands inside only when < width
+        assert "#" in out
+
+    def test_reference_overlap_marker(self):
+        out = bar_chart(["x"], [2.0], width=10, reference=1.0)
+        assert "+" in out  # reference line inside a filled bar
+
+    def test_values_printed(self):
+        out = bar_chart(["x"], [0.3333])
+        assert "0.333" in out
+
+    def test_label_alignment(self):
+        out = bar_chart(["short", "a-very-long-label"], [1, 1])
+        lines = out.splitlines()
+        assert lines[0].index("[") == lines[1].index("[")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_title(self):
+        assert bar_chart(["a"], [1], title="ratios").startswith("ratios")

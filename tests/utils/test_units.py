@@ -1,0 +1,93 @@
+"""Unit tests for byte/rate formatting and parsing."""
+
+import pytest
+
+from repro.utils.units import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    format_bytes,
+    format_count,
+    format_rate,
+    parse_bytes,
+)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("123", 123),
+            ("1KiB", KiB),
+            ("1.5 MiB", int(1.5 * MiB)),
+            ("2gib", 2 * GiB),
+            ("1tb", 10**12),
+            ("3 kb", 3000),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_plain_numbers(self):
+        assert parse_bytes(1024) == 1024
+        assert parse_bytes(1.5) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-5)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes("lots")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError, match="unknown byte unit"):
+            parse_bytes("5 parsecs")
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (KiB, "1.00 KiB"),
+            (3 * MiB, "3.00 MiB"),
+            (2 * GiB, "2.00 GiB"),
+            (5 * TiB, "5.00 TiB"),
+        ],
+    )
+    def test_formats(self, value, expected):
+        assert format_bytes(value) == expected
+
+    def test_negative(self):
+        assert format_bytes(-KiB) == "-1.00 KiB"
+
+    def test_precision(self):
+        assert format_bytes(1536, precision=1) == "1.5 KiB"
+
+    def test_roundtrip(self):
+        for value in (17, 3 * KiB, 7 * MiB, 2 * GiB):
+            assert parse_bytes(format_bytes(value)) == pytest.approx(
+                value, rel=0.01
+            )
+
+
+class TestFormatCount:
+    def test_suffixes(self):
+        assert format_count(41_000_000) == "41.00M"
+        assert format_count(1_400_000_000) == "1.40B"
+        assert format_count(950) == "950"
+        assert format_count(2_500) == "2.50K"
+        assert format_count(3e12) == "3.00T"
+
+    def test_negative(self):
+        assert format_count(-1500) == "-1.50K"
+
+
+class TestFormatRate:
+    def test_rate(self):
+        assert format_rate(1.1e12).endswith("/s")
+        assert "GiB" in format_rate(5 * GiB)
