@@ -3,19 +3,33 @@
 These time the substrate pieces the figure benches are built on — graph
 generation, partitioning, one engine iteration — so performance
 regressions in the hot paths are visible independent of the experiment
-harness.
+harness.  The execute-once benchmarks additionally emit machine-readable
+numbers to ``benchmarks/out/BENCH_engine.json``.
 """
+
+import json
+import time
 
 import numpy as np
 import pytest
 
-from repro.arch.engine import execute_iteration
+from repro.arch.disaggregated import DisaggregatedSimulator
+from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
+from repro.arch.distributed import DistributedSimulator
+from repro.arch.distributed_ndp import DistributedNDPSimulator
+from repro.arch.engine import (
+    StructuralProfileCache,
+    execute_iteration,
+    frontier_structure,
+)
+from repro.arch.trace import record_trace
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import rmat
 from repro.kernels.pagerank import PageRank
 from repro.partition import HashPartitioner, MetisPartitioner
 from repro.partition.base import PartitionAssignment
 from repro.partition.mirrors import build_mirror_table
+from repro.runtime.config import SystemConfig
 
 
 @pytest.fixture(scope="module")
@@ -63,3 +77,117 @@ def test_engine_iteration_pagerank(benchmark, lj_small):
 
     profile = benchmark(one_iteration)
     assert profile.edges_traversed == lj_small.num_edges
+
+
+# --------------------------------------------------------------------------- #
+# Execute-once engine benchmarks (BENCH_engine.json)
+# --------------------------------------------------------------------------- #
+
+def _min_of(fn, rounds=3):
+    """Best-of-N wall time: robust against scheduler noise on shared CI."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _write_bench_engine(bench_out_dir, section, payload):
+    path = bench_out_dir / "BENCH_engine.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_trace_replay_vs_reexecute(lj_small, bench_out_dir):
+    """Record once + replay four ways must beat four independent runs.
+
+    The acceptance bar for the execute-once engine: >= 2.5x on PageRank,
+    livejournal-sim (small tier), 8 partitions, 5 iterations — with
+    byte-identical movement totals on every architecture.
+    """
+    kernel = PageRank()
+    cfg = SystemConfig(num_memory_nodes=8)
+    ndp_cfg = cfg.with_options(enable_inc=True)
+
+    def simulators():
+        return [
+            DistributedSimulator(cfg),
+            DistributedNDPSimulator(cfg),
+            DisaggregatedSimulator(cfg),
+            DisaggregatedNDPSimulator(ndp_cfg),
+        ]
+
+    def shared_path():
+        trace = record_trace(
+            lj_small, kernel, num_parts=8, max_iterations=5, seed=7
+        )
+        return [sim.replay(trace) for sim in simulators()]
+
+    def independent_path():
+        return [
+            sim.run(lj_small, kernel, max_iterations=5, seed=7)
+            for sim in simulators()
+        ]
+
+    shared_seconds, shared_runs = _min_of(shared_path)
+    independent_seconds, independent_runs = _min_of(independent_path)
+
+    for rep, ind in zip(shared_runs, independent_runs):
+        assert rep.total_host_link_bytes == ind.total_host_link_bytes
+        assert rep.total_network_bytes == ind.total_network_bytes
+        assert rep.iterations == ind.iterations
+
+    speedup = independent_seconds / shared_seconds
+    _write_bench_engine(
+        bench_out_dir,
+        "trace_replay_vs_reexecute",
+        {
+            "workload": "pagerank/livejournal-sim/small",
+            "partitions": 8,
+            "iterations": 5,
+            "shared_seconds": shared_seconds,
+            "independent_seconds": independent_seconds,
+            "speedup": speedup,
+            "movement_identical": True,
+        },
+    )
+    assert speedup >= 2.5, (
+        f"execute-once speedup {speedup:.2f}x below the 2.5x bar "
+        f"({shared_seconds * 1e3:.1f} ms vs {independent_seconds * 1e3:.1f} ms)"
+    )
+
+
+def test_cached_vs_uncached_profile(lj_small, bench_out_dir):
+    """A warm structural-profile cache must dominate the |E|-key re-sort."""
+    assignment = HashPartitioner().partition(lj_small, 8, seed=7)
+    frontier = np.arange(lj_small.num_vertices, dtype=np.int64)
+
+    uncached_seconds, fresh = _min_of(
+        lambda: frontier_structure(lj_small, frontier, assignment), rounds=5
+    )
+    cache = StructuralProfileCache()
+    frontier_structure(lj_small, frontier, assignment, cache=cache)
+    cached_seconds, cached = _min_of(
+        lambda: frontier_structure(lj_small, frontier, assignment, cache=cache),
+        rounds=5,
+    )
+    assert cache.hits >= 5
+    np.testing.assert_array_equal(cached.pair_dst, fresh.pair_dst)
+
+    speedup = uncached_seconds / cached_seconds
+    _write_bench_engine(
+        bench_out_dir,
+        "cached_vs_uncached_profile",
+        {
+            "workload": "pagerank-frontier/livejournal-sim/small",
+            "partitions": 8,
+            "uncached_seconds": uncached_seconds,
+            "cached_seconds": cached_seconds,
+            "speedup": speedup,
+        },
+    )
+    # A hit is an O(|F|) comparison; anything < 2x means the cache broke.
+    assert speedup >= 2.0

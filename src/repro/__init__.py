@@ -73,11 +73,13 @@ from repro.arch import (
     DisaggregatedSimulator,
     DistributedNDPSimulator,
     DistributedSimulator,
+    ExecutionTrace,
     RunResult,
     compare_architectures,
     estimate_run_energy,
     get_architecture,
     list_architectures,
+    record_trace,
 )
 from repro.api import vertex_program
 from repro.runtime import (
@@ -148,6 +150,8 @@ __all__ = [
     "DisaggregatedSimulator",
     "DisaggregatedNDPSimulator",
     "RunResult",
+    "ExecutionTrace",
+    "record_trace",
     "compare_architectures",
     "estimate_run_energy",
     "get_architecture",

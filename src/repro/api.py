@@ -31,6 +31,16 @@ Example — out-neighbor weighted degree::
         single_shot=True,
         result="wdeg",
     )
+
+DSL programs plug into the execute-once machinery unchanged: record one
+:class:`~repro.arch.trace.ExecutionTrace` of the program and replay it
+through any number of architecture simulators without re-running the
+numerics::
+
+    from repro.api import record_trace
+
+    trace = record_trace(graph, wdeg, num_parts=8)
+    runs = [sim.replay(trace) for sim in simulators]
 """
 
 from __future__ import annotations
@@ -41,12 +51,23 @@ import numpy as np
 
 from repro.errors import KernelError
 from repro.graph.csr import CSRGraph
+from repro.arch.trace import ExecutionTrace, record_trace
 from repro.kernels.base import (
     ComputeProfile,
     KernelState,
     MessageSpec,
     VertexProgram,
 )
+
+__all__ = [
+    "vertex_program",
+    "ExecutionTrace",
+    "record_trace",
+    "ComputeProfile",
+    "KernelState",
+    "MessageSpec",
+    "VertexProgram",
+]
 
 InitFn = Callable[[CSRGraph, Optional[int]], Dict]
 TraverseFn = Callable[[KernelState, np.ndarray, np.ndarray, np.ndarray], np.ndarray]

@@ -2,8 +2,15 @@
 and disaggregated-NDP (this work) — Table II's four rows."""
 
 from repro.arch.base import ArchitectureSimulator
-from repro.arch.engine import IterationProfile, execute_iteration, prepare_graph
+from repro.arch.engine import (
+    IterationProfile,
+    StructuralProfileCache,
+    execute_iteration,
+    numeric_execution_count,
+    prepare_graph,
+)
 from repro.arch.results import IterationStats, RunResult
+from repro.arch.trace import ExecutionTrace, record_trace
 from repro.arch.distributed import DistributedSimulator
 from repro.arch.distributed_ndp import DistributedNDPSimulator
 from repro.arch.disaggregated import DisaggregatedSimulator
@@ -15,10 +22,14 @@ from repro.arch.registry import get_architecture, list_architectures
 __all__ = [
     "ArchitectureSimulator",
     "IterationProfile",
+    "StructuralProfileCache",
     "execute_iteration",
+    "numeric_execution_count",
     "prepare_graph",
     "IterationStats",
     "RunResult",
+    "ExecutionTrace",
+    "record_trace",
     "DistributedSimulator",
     "DistributedNDPSimulator",
     "DisaggregatedSimulator",

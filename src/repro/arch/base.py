@@ -24,6 +24,7 @@ from repro.partition.mirrors import MirrorTable, build_mirror_table
 from repro.partition.random_hash import HashPartitioner
 from repro.arch.engine import (
     IterationProfile,
+    StructuralProfileCache,
     execute_iteration,
     prepare_graph,
 )
@@ -137,6 +138,7 @@ class ArchitectureSimulator(abc.ABC):
 
         state = kernel.initial_state(prepared, source=source)
         cap = max_iterations if max_iterations is not None else kernel.max_iterations
+        cache = StructuralProfileCache()
         self._on_run_start(ctx, state)
 
         for _ in range(cap):
@@ -148,6 +150,7 @@ class ArchitectureSimulator(abc.ABC):
                 state,
                 assignment,
                 mirrors_per_vertex=mirrors_per_vertex,
+                cache=cache,
             )
             stats = self._account(profile, ctx)
             result.iterations.append(stats)
@@ -157,6 +160,60 @@ class ArchitectureSimulator(abc.ABC):
 
         state.converged = result.converged
         result.final_state = state
+        return result
+
+    def replay(self, trace, *, graph_name: Optional[str] = None) -> RunResult:
+        """Account a recorded :class:`~repro.arch.trace.ExecutionTrace`.
+
+        Replays each recorded iteration profile through this architecture's
+        ``_account`` hook without re-executing the kernel numerics — the
+        paper's "run once, account what each deployment would have moved".
+        The returned :class:`RunResult` is bit-identical to what
+        :meth:`run` produces for the same workload; its ``final_state`` is
+        the trace's (shared across every replaying simulator).
+        """
+        kernel = trace.kernel
+        if not kernel.supports_engine:
+            raise SimulationError(
+                f"kernel {kernel.name!r} is host-only and cannot be replayed"
+            )
+        num_parts = self.num_partitions()
+        if trace.assignment.num_parts != num_parts:
+            raise SimulationError(
+                f"trace was recorded with {trace.assignment.num_parts} parts, "
+                f"architecture is configured for {num_parts}"
+            )
+        if self.needs_mirrors and trace.mirror_table is None:
+            raise SimulationError(
+                f"{self.name} needs master/mirror structures; record the "
+                "trace with with_mirrors=True"
+            )
+
+        result = RunResult(
+            architecture=self.name,
+            kernel=kernel.name,
+            graph_name=graph_name if graph_name is not None else trace.graph_name,
+            num_parts=num_parts,
+            num_compute_nodes=self.num_compute_nodes(),
+            kernel_program=kernel,
+        )
+        ctx = RunContext(
+            graph=trace.graph,
+            kernel=kernel,
+            assignment=trace.assignment,
+            mirror_table=trace.mirror_table if self.needs_mirrors else None,
+            mirrors_per_vertex=(
+                trace.mirrors_per_vertex if self.needs_mirrors else None
+            ),
+            topology=self.config.topology(),
+            config=self.config,
+            result=result,
+        )
+        self._on_run_start(ctx, trace.final_state)
+        for profile in trace.profiles:
+            result.iterations.append(self._account(profile, ctx))
+        result.converged = trace.converged
+        result.final_state = trace.final_state
         return result
 
     # ------------------------------------------------------------------ #

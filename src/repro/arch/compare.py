@@ -5,11 +5,18 @@ architecture simulators and derives the paper's qualitative labels from the
 measurements: communication overhead from total network movement,
 synchronization overhead from barrier participants x frequency, and
 resource utilization from the provisioning model.
+
+The kernel numerics execute exactly once: the workload is recorded into an
+:class:`~repro.arch.trace.ExecutionTrace` and each simulator *replays* the
+shared trace through its accounting hook (the paper's "run the computation
+once, separately account what each deployment would have moved").  Pass
+``shared_trace=False`` to fall back to four independent executions — the
+results are bit-identical either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.disaggregated import DisaggregatedSimulator
@@ -17,6 +24,7 @@ from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
 from repro.arch.distributed import DistributedSimulator
 from repro.arch.distributed_ndp import DistributedNDPSimulator
 from repro.arch.results import RunResult
+from repro.arch.trace import ExecutionTrace, record_trace
 from repro.graph.csr import CSRGraph
 from repro.kernels.base import VertexProgram
 from repro.partition.base import Partitioner
@@ -58,6 +66,9 @@ class ArchitectureComparison:
     rows: List[ArchitectureRow]
     kernel: str
     graph_name: str
+    #: the shared execution trace the rows were replayed from (``None``
+    #: when the comparison ran with ``shared_trace=False``)
+    trace: Optional[ExecutionTrace] = field(default=None, repr=False)
 
     def row(self, architecture: str) -> ArchitectureRow:
         for r in self.rows:
@@ -114,6 +125,7 @@ def compare_architectures(
     demand_scale: float = 1.0,
     target_iteration_seconds: float = 1.0,
     seed: int = 0,
+    shared_trace: bool = True,
 ) -> ArchitectureComparison:
     """Run all four architectures on one workload and label the rows.
 
@@ -124,6 +136,9 @@ def compare_architectures(
     provisioning must meet; memory-bound kernels with relaxed targets need
     little compute per byte of graph, which is exactly the demand ratio a
     coupled server cannot match (Fig. 4's spread).
+    ``shared_trace`` executes the kernel once and replays the recorded
+    trace through every simulator (default); disabling it re-executes the
+    numerics per architecture, producing bit-identical rows ~4× slower.
     """
     cfg = config or SystemConfig()
     ndp_cfg = cfg if cfg.enable_inc else cfg.with_options(enable_inc=True)
@@ -133,18 +148,34 @@ def compare_architectures(
         DisaggregatedSimulator(cfg),
         DisaggregatedNDPSimulator(ndp_cfg),
     ]
-    runs = [
-        sim.run(
+    trace = None
+    if shared_trace:
+        # All four simulators partition over cfg.num_memory_nodes parts, so
+        # one recorded execution serves every accounting pass.
+        trace = record_trace(
             graph,
             kernel,
+            num_parts=cfg.num_memory_nodes,
             partitioner=partitioner,
             source=source,
             max_iterations=max_iterations,
             graph_name=graph_name,
             seed=seed,
         )
-        for sim in simulators
-    ]
+        runs = [sim.replay(trace) for sim in simulators]
+    else:
+        runs = [
+            sim.run(
+                graph,
+                kernel,
+                partitioner=partitioner,
+                source=source,
+                max_iterations=max_iterations,
+                graph_name=graph_name,
+                seed=seed,
+            )
+            for sim in simulators
+        ]
 
     worst_bytes = max(r.total_host_link_bytes for r in runs) or 1
     worst_sync = max(
@@ -200,4 +231,6 @@ def compare_architectures(
                 run=run,
             )
         )
-    return ArchitectureComparison(rows=rows, kernel=kernel.name, graph_name=graph_name)
+    return ArchitectureComparison(
+        rows=rows, kernel=kernel.name, graph_name=graph_name, trace=trace
+    )

@@ -41,7 +41,7 @@ class DisaggregatedSimulator(ArchitectureSimulator):
 
         # Hosts ask each memory node for the adjacency of its frontier slice.
         request_bytes = VERTEX_ID_BYTES * profile.frontier_size
-        active_parts = int(np.count_nonzero(profile.frontier_per_part))
+        active_parts = profile.active_parts
         ledger.record(
             "edge-fetch-request",
             LinkClass.HOST_LINK,

@@ -133,7 +133,7 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
             num_vertices=ctx.graph.num_vertices,
             num_parts=ctx.assignment.num_parts,
         )
-        active_parts = int(np.count_nonzero(profile.frontier_per_part))
+        active_parts = profile.active_parts
         ledger.record(
             "frontier-push", LinkClass.HOST_LINK, push_bytes, max(active_parts, 1) if profile.frontier_size else 0
         )

@@ -49,7 +49,7 @@ class DistributedSimulator(ArchitectureSimulator):
         # Apply phase: mirrors ship their reduced partial updates to masters.
         cross_pairs = profile.cross_update_pairs(parts)
         update_bytes = wire * cross_pairs
-        active_parts = int(np.count_nonzero(profile.partials_per_part))
+        active_parts = profile.partial_active_parts
         ledger.record("apply", LinkClass.HOST_LINK, update_bytes, active_parts)
         bytes_by_phase["apply"] = update_bytes
 

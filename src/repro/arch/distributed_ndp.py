@@ -50,3 +50,13 @@ class DistributedNDPSimulator(DistributedSimulator):
         check = check_offload(kernel, self.config.ndp_device, phase="traverse")
         check.raise_if_denied()
         return super().run(graph, kernel, **kwargs)
+
+    def replay(self, trace, **kwargs):
+        # Replay accounts the same execution, so the same capability envelope
+        # applies: a kernel the PIM units cannot run has no distributed-NDP
+        # deployment to account for.
+        check = check_offload(
+            trace.kernel, self.config.ndp_device, phase="traverse"
+        )
+        check.raise_if_denied()
+        return super().replay(trace, **kwargs)

@@ -6,16 +6,33 @@ account the movement and time of what happened here.  This mirrors the
 paper's prototype, which runs the real Galois computation while separately
 tracking how many bytes each deployment strategy would have moved.
 
-Besides executing the traverse → reduce → apply pipeline, the engine
-profiles the structural quantities the accounting models need: edges
-traversed per partition, distinct destinations per partition (``|D_p|``,
-the partial-update counts), the global distinct-destination set, and the
-per-destination fan-in histogram the switch model consumes.
+The per-iteration work is split into two halves:
+
+* **structural profiling** (:func:`frontier_structure`) — everything that
+  depends only on the graph topology, the frontier, and the partition map:
+  the gathered edge arrays, edges traversed per partition, distinct
+  destinations per partition (``|D_p|``, the partial-update counts), the
+  global distinct-destination set, and the per-destination fan-in histogram
+  the switch model consumes.  Because these quantities are independent of
+  the property values, they can be cached across iterations whose frontier
+  is unchanged (:class:`StructuralProfileCache`) — the common case for
+  topology-driven kernels like PageRank, where the frontier is all vertices
+  every iteration and re-sorting the |E| destination keys would be pure
+  waste.
+
+* **numeric execution** (:func:`apply_numeric`) — the traverse → reduce →
+  apply pipeline that actually mutates the kernel state.  This half runs
+  exactly once per iteration no matter how many architectures account it;
+  :func:`numeric_execution_count` exposes a process-wide counter so tests
+  can assert the execute-once property.
+
+:func:`execute_iteration` composes the two halves and returns the
+architecture-neutral :class:`IterationProfile` the accounting hooks consume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
@@ -25,6 +42,26 @@ from repro.graph.csr import CSRGraph
 from repro.graph.traversal import _gather
 from repro.kernels.base import KernelState, VertexProgram
 from repro.partition.base import PartitionAssignment
+
+#: Process-wide count of numeric kernel executions (traverse+reduce+apply).
+_numeric_executions = 0
+
+
+def numeric_execution_count() -> int:
+    """How many kernel iterations have been numerically executed.
+
+    Incremented once per :func:`execute_iteration` (equivalently, once per
+    :func:`apply_numeric`) — *not* per architecture accounting pass.  Tests
+    use the delta across a :func:`~repro.arch.compare.compare_architectures`
+    call to assert the kernel ran exactly once per iteration.
+    """
+    return _numeric_executions
+
+
+def reset_numeric_execution_count() -> None:
+    """Reset the process-wide execution counter (test helper)."""
+    global _numeric_executions
+    _numeric_executions = 0
 
 
 @dataclass(frozen=True)
@@ -43,6 +80,16 @@ class IterationProfile:
     partials_per_part: np.ndarray  # |D_p|
     updates_per_destination: np.ndarray  # fan-in per distinct destination
     changed_mirror_pairs: int  # Σ_{v in changed} #mirror parts of v
+    #: memo for :meth:`cross_update_pairs` — ``(id(owner_of), value)``; one
+    #: profile is accounted by up to four architectures against the same
+    #: owner map, so the cross-pair count is computed once.
+    _cross_memo: Optional[Tuple[int, int]] = field(
+        default=None, compare=False, repr=False
+    )
+    _active_parts: Optional[int] = field(default=None, compare=False, repr=False)
+    _partial_active_parts: Optional[int] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def partial_update_pairs(self) -> int:
@@ -54,15 +101,137 @@ class IterationProfile:
         """|∪_p D_p| — updates after perfect in-network aggregation."""
         return int(self.touched.size)
 
+    @property
+    def active_parts(self) -> int:
+        """Parts holding at least one frontier vertex (memoized)."""
+        if self._active_parts is None:
+            object.__setattr__(
+                self,
+                "_active_parts",
+                int(np.count_nonzero(self.frontier_per_part)),
+            )
+        return self._active_parts
+
+    @property
+    def partial_active_parts(self) -> int:
+        """Parts that produced at least one partial update (memoized)."""
+        if self._partial_active_parts is None:
+            object.__setattr__(
+                self,
+                "_partial_active_parts",
+                int(np.count_nonzero(self.partials_per_part)),
+            )
+        return self._partial_active_parts
+
     def cross_update_pairs(self, owner_of: np.ndarray) -> int:
         """Pairs whose source part is not the destination's owner.
 
         ``owner_of`` maps a vertex to the part owning its master — the
         mirror→master update count of the distributed architectures.
+        Memoized per owner map: during trace replay the same profile is
+        accounted by several simulators against the same partition map.
         """
         if self.pair_dst.size == 0:
             return 0
-        return int(np.count_nonzero(owner_of[self.pair_dst] != self.pair_part))
+        if self._cross_memo is not None and self._cross_memo[0] == id(owner_of):
+            return self._cross_memo[1]
+        value = int(np.count_nonzero(owner_of[self.pair_dst] != self.pair_part))
+        object.__setattr__(self, "_cross_memo", (id(owner_of), value))
+        return value
+
+
+@dataclass(frozen=True)
+class FrontierStructure:
+    """Topology-only facts for one frontier under one partition map.
+
+    Everything here is a pure function of ``(graph, frontier, assignment)``
+    — no property values — so consecutive iterations with an identical
+    frontier can share one instance (see :class:`StructuralProfileCache`).
+    The arrays are marked read-only when cached because they may be aliased
+    across several :class:`IterationProfile`\\ s.
+    """
+
+    frontier: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    weights: np.ndarray
+    touched: np.ndarray
+    edges_traversed: int
+    frontier_per_part: np.ndarray
+    edges_per_part: np.ndarray
+    pair_dst: np.ndarray
+    pair_part: np.ndarray
+    partials_per_part: np.ndarray
+    updates_per_destination: np.ndarray
+
+
+class StructuralProfileCache:
+    """One-entry cache of the last frontier's :class:`FrontierStructure`.
+
+    Topology-driven kernels (PageRank, and label propagation until labels
+    settle) present the *same* frontier every iteration; re-deriving the
+    partition-level arrays means re-sorting |E| destination keys with
+    ``np.unique`` for no new information.  The cache compares the incoming
+    frontier against the previous one (cheap O(|F|) equality against an
+    O(|E| log |E|) recompute) and replays the stored structure on a match.
+
+    A mismatch in frontier contents, graph, or partition assignment
+    invalidates the entry — a shrinking BFS/CC frontier therefore misses
+    every iteration, paying only the comparison.
+    """
+
+    __slots__ = ("hits", "misses", "_entry", "_graph_id", "_assignment_id")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._entry: Optional[FrontierStructure] = None
+        self._graph_id = -1
+        self._assignment_id = -1
+
+    def lookup(
+        self,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        assignment: PartitionAssignment,
+    ) -> Optional[FrontierStructure]:
+        """Return the cached structure if it matches, else ``None``."""
+        entry = self._entry
+        if (
+            entry is None
+            or self._graph_id != id(graph)
+            or self._assignment_id != id(assignment)
+            or entry.frontier.size != frontier.size
+            or not np.array_equal(entry.frontier, frontier)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        graph: CSRGraph,
+        assignment: PartitionAssignment,
+        entry: FrontierStructure,
+    ) -> None:
+        """Install ``entry`` as the cached structure for ``graph``/``assignment``."""
+        for arr in (
+            entry.frontier,
+            entry.src,
+            entry.dst,
+            entry.touched,
+            entry.frontier_per_part,
+            entry.edges_per_part,
+            entry.pair_dst,
+            entry.pair_part,
+            entry.partials_per_part,
+            entry.updates_per_destination,
+        ):
+            arr.setflags(write=False)
+        self._entry = entry
+        self._graph_id = id(graph)
+        self._assignment_id = id(assignment)
 
 
 def prepare_graph(graph: CSRGraph, kernel: VertexProgram) -> CSRGraph:
@@ -75,62 +244,58 @@ def prepare_graph(graph: CSRGraph, kernel: VertexProgram) -> CSRGraph:
     return g
 
 
-def execute_iteration(
-    kernel: VertexProgram,
-    state: KernelState,
+def frontier_structure(
+    graph: CSRGraph,
+    frontier: np.ndarray,
     assignment: PartitionAssignment,
     *,
-    mirrors_per_vertex: Optional[np.ndarray] = None,
-) -> IterationProfile:
-    """Run one iteration and return its structural profile.
+    cache: Optional[StructuralProfileCache] = None,
+) -> FrontierStructure:
+    """Structural profiling step: everything accounting needs except values.
 
-    Mutates ``state`` (properties, frontier, iteration counter) through the
-    kernel's own hooks.
+    With a ``cache``, an unchanged frontier (same graph and assignment)
+    reuses the previous iteration's arrays instead of re-gathering and
+    re-sorting them.
     """
-    graph = state.graph
+    if cache is not None:
+        entry = cache.lookup(graph, frontier, assignment)
+        if entry is not None:
+            return entry
+
     parts = assignment.parts
     num_parts = assignment.num_parts
-    if parts.size != graph.num_vertices:
-        raise SimulationError(
-            f"partition covers {parts.size} vertices, graph has "
-            f"{graph.num_vertices}"
+    n = graph.num_vertices
+
+    if frontier.size == n and np.array_equal(
+        frontier, np.arange(n, dtype=np.int64)
+    ):
+        # All-vertices fast path: the edge arrays are the CSR arrays
+        # themselves, and the per-edge source parts come precomputed from
+        # the assignment — no ragged gathers at all.
+        src = np.repeat(frontier, np.diff(graph.indptr))
+        dst = graph.indices
+        weights = (
+            graph.weights
+            if graph.weights is not None
+            else _uniform_weights(dst.size)
         )
-
-    frontier = np.asarray(state.frontier, dtype=np.int64)
-    iteration = state.iteration
-
-    src, dst, weights = _gather_frontier_edges(graph, frontier)
+        src_parts = assignment.edge_source_parts(graph)
+    else:
+        src, dst, weights, src_parts = _gather_frontier_edges(
+            graph, frontier, assignment
+        )
     edges_traversed = int(dst.size)
 
-    # ---- traverse + reduce ------------------------------------------- #
-    if edges_traversed:
-        values = kernel.edge_messages(state, src, dst, weights)
-        if values.shape != dst.shape:
-            raise SimulationError(
-                f"kernel {kernel.name!r} returned {values.shape} message values "
-                f"for {dst.shape} edges"
-            )
-        acc = np.full(graph.num_vertices, kernel.message.identity)
-        kernel.message.combine_at(acc, dst, values)
-        touched = np.unique(dst)
-        reduced = acc[touched]
-    else:
-        touched = np.empty(0, dtype=np.int64)
-        reduced = np.empty(0)
-
-    # ---- apply -------------------------------------------------------- #
-    changed = np.asarray(kernel.apply(state, touched, reduced), dtype=np.int64)
-
-    # ---- per-part structural profile ----------------------------------- #
     frontier_per_part = np.bincount(
         parts[frontier], minlength=num_parts
     ).astype(np.int64) if frontier.size else np.zeros(num_parts, dtype=np.int64)
     edges_per_part = np.bincount(
-        parts[src], minlength=num_parts
+        src_parts, minlength=num_parts
     ).astype(np.int64) if edges_traversed else np.zeros(num_parts, dtype=np.int64)
 
     if edges_traversed:
-        keys = dst * np.int64(num_parts) + parts[src]
+        touched = np.unique(dst)
+        keys = dst * np.int64(num_parts) + src_parts
         uniq = np.unique(keys)
         pair_dst = uniq // num_parts
         pair_part = uniq % num_parts
@@ -141,10 +306,94 @@ def execute_iteration(
         # per-destination fan-in is a run-length count over pair_dst.
         _, updates_per_destination = np.unique(pair_dst, return_counts=True)
     else:
+        touched = np.empty(0, dtype=np.int64)
         pair_dst = np.empty(0, dtype=np.int64)
         pair_part = np.empty(0, dtype=np.int64)
         partials_per_part = np.zeros(num_parts, dtype=np.int64)
         updates_per_destination = np.empty(0, dtype=np.int64)
+
+    entry = FrontierStructure(
+        frontier=frontier.copy(),
+        src=src,
+        dst=dst,
+        weights=weights,
+        touched=touched,
+        edges_traversed=edges_traversed,
+        frontier_per_part=frontier_per_part,
+        edges_per_part=edges_per_part,
+        pair_dst=pair_dst,
+        pair_part=pair_part,
+        partials_per_part=partials_per_part,
+        updates_per_destination=updates_per_destination,
+    )
+    if cache is not None:
+        cache.store(graph, assignment, entry)
+    return entry
+
+
+def apply_numeric(
+    kernel: VertexProgram,
+    state: KernelState,
+    structure: FrontierStructure,
+) -> np.ndarray:
+    """Numeric execution step: traverse → reduce → apply; returns ``changed``.
+
+    Mutates ``state``'s properties through the kernel's own hooks (but not
+    the frontier/iteration counter — :func:`execute_iteration` advances
+    those so this step stays replayable in isolation).
+    """
+    global _numeric_executions
+    _numeric_executions += 1
+
+    touched = structure.touched
+    if structure.edges_traversed:
+        values = kernel.edge_messages(
+            state, structure.src, structure.dst, structure.weights
+        )
+        if values.shape != structure.dst.shape:
+            raise SimulationError(
+                f"kernel {kernel.name!r} returned {values.shape} message values "
+                f"for {structure.dst.shape} edges"
+            )
+        identity = kernel.message.identity
+        acc = state.scratch_accumulator(identity)
+        kernel.message.combine_at(acc, structure.dst, values)
+        reduced = acc[touched]
+        # Restore the touched slots so the persistent scratch buffer is
+        # all-identity again for the next iteration.
+        acc[touched] = identity
+    else:
+        reduced = np.empty(0)
+
+    return np.asarray(kernel.apply(state, touched, reduced), dtype=np.int64)
+
+
+def execute_iteration(
+    kernel: VertexProgram,
+    state: KernelState,
+    assignment: PartitionAssignment,
+    *,
+    mirrors_per_vertex: Optional[np.ndarray] = None,
+    cache: Optional[StructuralProfileCache] = None,
+) -> IterationProfile:
+    """Run one iteration and return its structural profile.
+
+    Mutates ``state`` (properties, frontier, iteration counter) through the
+    kernel's own hooks.  ``cache`` enables structural-profile reuse across
+    iterations with identical frontiers.
+    """
+    graph = state.graph
+    if assignment.parts.size != graph.num_vertices:
+        raise SimulationError(
+            f"partition covers {assignment.parts.size} vertices, graph has "
+            f"{graph.num_vertices}"
+        )
+
+    frontier = np.asarray(state.frontier, dtype=np.int64)
+    iteration = state.iteration
+
+    structure = frontier_structure(graph, frontier, assignment, cache=cache)
+    changed = apply_numeric(kernel, state, structure)
 
     changed_mirror_pairs = 0
     if mirrors_per_vertex is not None and changed.size:
@@ -159,26 +408,42 @@ def execute_iteration(
     return IterationProfile(
         iteration=iteration,
         frontier_size=int(frontier.size),
-        edges_traversed=edges_traversed,
-        touched=touched,
+        edges_traversed=structure.edges_traversed,
+        touched=structure.touched,
         changed=changed,
-        frontier_per_part=frontier_per_part,
-        edges_per_part=edges_per_part,
-        pair_dst=pair_dst,
-        pair_part=pair_part,
-        partials_per_part=partials_per_part,
-        updates_per_destination=updates_per_destination,
+        frontier_per_part=structure.frontier_per_part,
+        edges_per_part=structure.edges_per_part,
+        pair_dst=structure.pair_dst,
+        pair_part=structure.pair_part,
+        partials_per_part=structure.partials_per_part,
+        updates_per_destination=structure.updates_per_destination,
         changed_mirror_pairs=changed_mirror_pairs,
     )
 
 
+def _uniform_weights(size: int) -> np.ndarray:
+    """Read-only broadcast of 1.0 — no |E|-sized allocation per iteration."""
+    return np.broadcast_to(np.float64(1.0), (size,))
+
+
 def _gather_frontier_edges(
-    graph: CSRGraph, frontier: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """All out-edges of the frontier as (src, dst, weight) arrays."""
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    assignment: Optional[PartitionAssignment] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """All out-edges of the frontier as (src, dst, weight, src_part) arrays.
+
+    ``src_part`` is expanded from the frontier's own part ids (an O(|F|)
+    gather plus a repeat, instead of an extra |E|-sized random gather
+    through the vertex→part map); it is ``None`` when no assignment is
+    given.  The all-vertices case never reaches here — it reuses the
+    assignment's precomputed per-edge part array directly.
+    """
     if frontier.size == 0:
         empty = np.empty(0, dtype=np.int64)
-        return empty, empty, np.empty(0)
+        return empty, empty, np.empty(0), (
+            empty if assignment is not None else None
+        )
     starts = graph.indptr[frontier]
     lens = graph.indptr[frontier + 1] - starts
     dst = _gather(graph.indices, starts, lens)
@@ -186,5 +451,8 @@ def _gather_frontier_edges(
     if graph.weights is not None:
         weights = _gather(graph.weights, starts, lens)
     else:
-        weights = np.ones(dst.size)
-    return src, dst, weights
+        weights = _uniform_weights(dst.size)
+    src_parts = None
+    if assignment is not None:
+        src_parts = np.repeat(assignment.parts[frontier], lens)
+    return src, dst, weights, src_parts

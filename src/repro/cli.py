@@ -78,7 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--compare",
         action="store_true",
-        help="run all four architectures and print the Table II-style comparison",
+        help="run all four architectures and print the Table II-style "
+        "comparison (the kernel executes once; each architecture replays "
+        "the shared trace)",
+    )
+    parser.add_argument(
+        "--independent-compare",
+        action="store_true",
+        help="with --compare: re-execute the kernel per architecture "
+        "instead of replaying one shared trace (bit-identical, ~4x slower)",
     )
     parser.add_argument("--max-iterations", type=int, default=None)
     parser.add_argument("--trace-csv", default=None, help="write per-iteration trace CSV")
@@ -153,6 +161,7 @@ def _run(args: argparse.Namespace) -> int:
             max_iterations=args.max_iterations,
             graph_name=graph_name,
             seed=args.seed,
+            shared_trace=not args.independent_compare,
         )
         print(comparison.as_table())
         return 0

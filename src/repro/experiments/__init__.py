@@ -7,7 +7,7 @@ them by id.
 """
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments import fig4, fig5, fig6, fig7, table1, table2, ablations
+from repro.experiments import fig4, fig5, fig6, fig7, sweep, table1, table2, ablations
 
 ALL_EXPERIMENTS = {
     "table1": table1.run,
@@ -16,6 +16,7 @@ ALL_EXPERIMENTS = {
     "fig5": fig5.run,
     "fig6": fig6.run,
     "fig7": fig7.run,
+    "sweep": sweep.run,
     "ablation-dynamic": ablations.run_dynamic_policy,
     "ablation-costmodel": ablations.run_cost_model_fidelity,
     "ablation-switch-buffer": ablations.run_switch_buffer,

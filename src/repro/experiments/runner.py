@@ -5,6 +5,7 @@ Examples::
     repro-experiments list
     repro-experiments run fig5
     repro-experiments run fig6 --tier tiny
+    repro-experiments run sweep --jobs 4
     repro-experiments run all --json out/
 """
 
@@ -44,11 +45,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write <DIR>/<experiment>.json with the raw series",
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the 'sweep' experiment (CSR arrays are "
+        "shared through shared memory, not pickled); other experiments "
+        "ignore this flag",
+    )
     return parser
 
 
 def run_experiment(
-    experiment_id: str, *, tier: str = "small", seed: int = 7, json_dir: Optional[str] = None
+    experiment_id: str,
+    *,
+    tier: str = "small",
+    seed: int = 7,
+    json_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> str:
     """Run one experiment and return its rendered report."""
     try:
@@ -60,6 +75,8 @@ def run_experiment(
         ) from None
     if experiment_id == "table1":
         result = fn()  # type: ignore[call-arg]
+    elif experiment_id == "sweep":
+        result = fn(tier=tier, seed=seed, jobs=jobs)  # type: ignore[call-arg]
     else:
         result = fn(tier=tier, seed=seed)  # type: ignore[call-arg]
     if json_dir:
@@ -81,7 +98,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for target in targets:
         try:
             report = run_experiment(
-                target, tier=args.tier, seed=args.seed, json_dir=args.json
+                target,
+                tier=args.tier,
+                seed=args.seed,
+                json_dir=args.json,
+                jobs=args.jobs,
             )
         except ExperimentError as exc:
             print(f"error: {exc}", file=sys.stderr)

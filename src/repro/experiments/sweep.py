@@ -1,0 +1,398 @@
+"""Parallel multi-workload sweep runner with shared-memory CSR graphs.
+
+Fig. 7-style sweeps run many (dataset, kernel, partition-count) workloads.
+Each workload is independent, so the sweep fans out over worker processes —
+but the edge arrays dominate the working set, and pickling them into every
+worker would multiply memory by the worker count and serialize the very
+arrays the paper's disaggregated pool is supposed to share.  Instead the
+parent loads each dataset once, publishes its CSR arrays through
+:mod:`multiprocessing.shared_memory`, and ships only tiny ``(name, shape,
+dtype)`` descriptors to the workers, which attach zero-copy views.
+
+Each task itself follows the execute-once discipline: the kernel is
+recorded into one :class:`~repro.arch.trace.ExecutionTrace` and replayed
+through both disaggregated simulators (fetch vs NDP offload), so a sweep
+over W workloads runs exactly W numeric executions regardless of how many
+architectures are accounted.
+
+``run_sweep(tasks, jobs=1)`` with ``jobs <= 1`` executes the identical task
+function in-process; the parallel path must produce bit-identical outcomes
+(the tests assert it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.disaggregated import DisaggregatedSimulator
+from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
+from repro.arch.trace import record_trace
+from repro.errors import ExperimentError
+from repro.experiments.common import DEFAULT_SEED, DEFAULT_TIER, ExperimentResult
+from repro.experiments.fig7 import PANELS
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load_dataset
+from repro.kernels.registry import get_kernel
+from repro.runtime.config import SystemConfig
+from repro.utils.tables import TextTable
+
+_INDEX_DTYPE = np.int64
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory CSR publication
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Descriptor for one array living in a shared-memory segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    def attach(self, shm: shared_memory.SharedMemory) -> np.ndarray:
+        arr = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+        arr.setflags(write=False)
+        return arr
+
+
+@dataclass(frozen=True)
+class SharedGraphSpec:
+    """Everything a worker needs to reconstruct a CSR graph zero-copy.
+
+    The spec is a few hundred bytes regardless of graph size — this is the
+    only graph-shaped thing that crosses the process boundary.
+    """
+
+    indptr: _ArraySpec
+    indices: _ArraySpec
+    weights: Optional[_ArraySpec] = None
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        names = [self.indptr.name, self.indices.name]
+        if self.weights is not None:
+            names.append(self.weights.name)
+        return tuple(names)
+
+
+def _publish_array(arr: np.ndarray, name: str) -> Tuple[_ArraySpec, shared_memory.SharedMemory]:
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(arr.nbytes, 1))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    return _ArraySpec(shm.name, tuple(arr.shape), arr.dtype.str), shm
+
+
+def share_graph(
+    graph: CSRGraph, *, tag: Optional[str] = None
+) -> Tuple[SharedGraphSpec, List[shared_memory.SharedMemory]]:
+    """Copy a graph's CSR arrays into shared memory.
+
+    Returns the descriptor plus the parent-side handles; the caller owns the
+    handles and must ``close()`` and ``unlink()`` them once the sweep is done
+    (:func:`run_sweep` does this in a ``finally``).  ``tag`` names the
+    segments; the default random tag keeps concurrent sweeps (and sweeps
+    after a crashed predecessor) from colliding on segment names, which the
+    OS requires to be unique system-wide.  Names are kept short for macOS's
+    31-character shm name limit.
+    """
+    base = f"rsw-{tag if tag is not None else secrets.token_hex(4)}"
+    indptr_spec, indptr_shm = _publish_array(graph.indptr, f"{base}-p")
+    indices_spec, indices_shm = _publish_array(graph.indices, f"{base}-e")
+    segments = [indptr_shm, indices_shm]
+    weights_spec = None
+    if graph.weights is not None:
+        weights_spec, weights_shm = _publish_array(graph.weights, f"{base}-w")
+        segments.append(weights_shm)
+    spec = SharedGraphSpec(indptr_spec, indices_spec, weights_spec)
+    return spec, segments
+
+
+def attach_shared_graph(
+    spec: SharedGraphSpec,
+) -> Tuple[CSRGraph, List[shared_memory.SharedMemory]]:
+    """Attach to a published graph without copying the arrays.
+
+    The returned segments must outlive the graph (the arrays are views into
+    their buffers); callers keep both together.  The attach is unregistered
+    from the resource tracker so a worker exiting does not unlink segments
+    the parent still owns.
+    """
+    segments: List[shared_memory.SharedMemory] = []
+    arrays = []
+    for aspec in (spec.indptr, spec.indices, spec.weights):
+        if aspec is None:
+            arrays.append(None)
+            continue
+        shm = _attach_untracked(aspec.name)
+        segments.append(shm)
+        arrays.append(aspec.attach(shm))
+    indptr, indices, weights = arrays
+    graph = CSRGraph(indptr, indices, weights, validate=False)
+    return graph, segments
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    ``SharedMemory(name=...)`` registers every attach with the resource
+    tracker, which either unlinks the segment when the attaching worker
+    exits (spawn: worker-private tracker) or races the parent's own
+    unregister at unlink time (fork: shared tracker).  Workers only borrow
+    the parent's segments, so the attach must not be tracked at all.
+    Python 3.13 adds ``track=False`` for exactly this; earlier versions
+    need the register call suppressed for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pre-3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda _name, _rtype: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+# --------------------------------------------------------------------------- #
+# Sweep tasks
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One workload in a sweep: a Fig. 7 panel generalized."""
+
+    dataset: str
+    kernel: str
+    partitions: int
+    tier: str = DEFAULT_TIER
+    seed: int = DEFAULT_SEED
+    max_iterations: int = 30
+
+    @property
+    def label(self) -> str:
+        return f"{self.kernel}/{self.dataset}/p{self.partitions}"
+
+    @property
+    def graph_key(self) -> Tuple[str, str, int]:
+        """Tasks sharing this key can share one loaded (and shared) graph."""
+        return (self.dataset, self.tier, self.seed)
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Per-task results; fields are plain so outcomes pickle cheaply."""
+
+    task: SweepTask
+    graph_name: str
+    num_iterations: int
+    fetch_bytes: Tuple[int, ...]
+    offload_bytes: Tuple[int, ...]
+    frontier: Tuple[int, ...]
+    result_sha256: str
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def total_fetch_bytes(self) -> int:
+        return int(sum(self.fetch_bytes))
+
+    @property
+    def total_offload_bytes(self) -> int:
+        return int(sum(self.offload_bytes))
+
+
+def _execute_task(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOutcome:
+    """Run one workload: record the trace once, replay both deployments.
+
+    This exact function serves both the serial path and the workers, so
+    ``jobs=1`` and ``jobs=N`` outcomes can only differ if the inputs do.
+    """
+    kernel = get_kernel(task.kernel)
+    source = int(graph.out_degrees.argmax()) if kernel.needs_source else None
+    config = SystemConfig(num_memory_nodes=task.partitions)
+    trace = record_trace(
+        graph,
+        kernel,
+        num_parts=task.partitions,
+        source=source,
+        max_iterations=task.max_iterations,
+        graph_name=graph_name,
+        seed=task.seed,
+        with_mirrors=False,
+    )
+    fetch = DisaggregatedSimulator(config).replay(trace)
+    ndp_cfg = config if config.enable_inc else config.with_options(enable_inc=True)
+    offload = DisaggregatedNDPSimulator(ndp_cfg).replay(trace)
+    digest = hashlib.sha256(
+        np.ascontiguousarray(fetch.result_property()).tobytes()
+    ).hexdigest()
+    return SweepOutcome(
+        task=task,
+        graph_name=graph_name,
+        num_iterations=trace.num_iterations,
+        fetch_bytes=tuple(int(b) for b in fetch.per_iteration_bytes()),
+        offload_bytes=tuple(int(b) for b in offload.per_iteration_bytes()),
+        frontier=tuple(int(f) for f in fetch.per_iteration_frontier()),
+        result_sha256=digest,
+        cache_hits=trace.cache_hits,
+        cache_misses=trace.cache_misses,
+    )
+
+
+# Worker-side cache: spec -> (graph, segments).  One attach per (worker,
+# graph) no matter how many tasks land on the worker.
+_ATTACHED: Dict[Tuple[str, ...], Tuple[CSRGraph, List[shared_memory.SharedMemory]]] = {}
+
+
+def _worker_execute(
+    task: SweepTask, spec: SharedGraphSpec, graph_name: str
+) -> SweepOutcome:
+    key = spec.segment_names
+    if key not in _ATTACHED:
+        _ATTACHED[key] = attach_shared_graph(spec)
+    graph, _segments = _ATTACHED[key]
+    return _execute_task(task, graph, graph_name)
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+
+
+def fig7_sweep_tasks(
+    *, tier: str = DEFAULT_TIER, seed: int = DEFAULT_SEED
+) -> List[SweepTask]:
+    """The Fig. 7 panels, plus the remaining kernels on LiveJournal —
+    enough workloads that the fan-out is worth its process pool."""
+    tasks = [
+        SweepTask(p.dataset, p.kernel, p.partitions, tier, seed, p.max_iterations)
+        for p in PANELS
+    ]
+    for kernel in ("pagerank", "bfs"):
+        tasks.append(SweepTask("livejournal-sim", kernel, 32, tier, seed))
+    return tasks
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask], *, jobs: int = 1
+) -> List[SweepOutcome]:
+    """Run every task and return outcomes in task order.
+
+    ``jobs <= 1`` runs in-process.  Otherwise each distinct ``(dataset,
+    tier, seed)`` graph is loaded once, published to shared memory, and the
+    tasks fan out over a ``ProcessPoolExecutor``; the parent unlinks the
+    segments when every future has resolved.
+    """
+    if not tasks:
+        return []
+    # Load each distinct graph exactly once, in task order.
+    graphs: Dict[Tuple[str, str, int], Tuple[CSRGraph, str]] = {}
+    for task in tasks:
+        if task.graph_key not in graphs:
+            graph, ds = load_dataset(task.dataset, tier=task.tier, seed=task.seed)
+            graphs[task.graph_key] = (graph, ds.name)
+
+    if jobs <= 1:
+        return [
+            _execute_task(task, *graphs[task.graph_key]) for task in tasks
+        ]
+
+    specs: Dict[Tuple[str, str, int], Tuple[SharedGraphSpec, str]] = {}
+    segments: List[shared_memory.SharedMemory] = []
+    try:
+        for key, (graph, name) in graphs.items():
+            spec, segs = share_graph(graph)
+            specs[key] = (spec, name)
+            segments.extend(segs)
+        # fork keeps worker start cheap on Linux; the spec-based attach
+        # works under spawn too, so fall back silently elsewhere.
+        try:
+            ctx = get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = get_context()
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            futures = [
+                pool.submit(_worker_execute, task, *specs[task.graph_key])
+                for task in tasks
+            ]
+            outcomes = [f.result() for f in futures]
+    except Exception as exc:
+        raise ExperimentError(f"sweep failed: {exc}") from exc
+    finally:
+        for shm in segments:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+    return outcomes
+
+
+def run(
+    *,
+    tier: str = DEFAULT_TIER,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    tasks: Optional[Sequence[SweepTask]] = None,
+) -> ExperimentResult:
+    """Sweep experiment entry point (``repro-experiments sweep``)."""
+    chosen = list(tasks) if tasks is not None else fig7_sweep_tasks(tier=tier, seed=seed)
+    outcomes = run_sweep(chosen, jobs=jobs)
+    table = TextTable(
+        [
+            "workload",
+            "iterations",
+            "no NDP (KB)",
+            "NDP (KB)",
+            "cache hits",
+            "result sha256",
+        ],
+        title=f"Fig. 7 sweep — {len(outcomes)} workloads, jobs={max(jobs, 1)}",
+    )
+    data: Dict[str, Dict[str, object]] = {}
+    for out in outcomes:
+        table.add_row(
+            out.task.label,
+            out.num_iterations,
+            out.total_fetch_bytes / 1e3,
+            out.total_offload_bytes / 1e3,
+            f"{out.cache_hits}/{out.cache_hits + out.cache_misses}",
+            out.result_sha256[:12],
+        )
+        data[out.task.label] = {
+            "dataset": out.graph_name,
+            "kernel": out.task.kernel,
+            "partitions": out.task.partitions,
+            "fetch_bytes": list(out.fetch_bytes),
+            "offload_bytes": list(out.offload_bytes),
+            "frontier": list(out.frontier),
+            "result_sha256": out.result_sha256,
+        }
+    result = ExperimentResult(
+        experiment_id="sweep",
+        title="Parallel Fig. 7-style sweep (shared-memory CSR)",
+        tables=[table],
+        data=data,
+    )
+    result.notes.append(
+        "Each workload executes its kernel numerics once and replays the "
+        "trace through both disaggregated deployments; with --jobs N the "
+        "workloads fan out over processes sharing the CSR arrays."
+    )
+    return result

@@ -109,10 +109,30 @@ class KernelState:
     iteration: int = 0
     converged: bool = False
     scalars: Dict[str, float] = field(default_factory=dict)
+    _scratch: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _scratch_identity: float = field(default=0.0, repr=False, compare=False)
 
     @property
     def num_vertices(self) -> int:
         return self.graph.num_vertices
+
+    def scratch_accumulator(self, identity: float) -> np.ndarray:
+        """Persistent ``float64[n]`` reduction buffer, pre-filled with ``identity``.
+
+        Allocated (and filled) once per run instead of a fresh
+        ``np.full(n)`` every iteration.  Contract: the caller must restore
+        every slot it dirtied back to ``identity`` before the next call —
+        the engine resets exactly the touched destinations after reading
+        the reduced values out.
+        """
+        if (
+            self._scratch is None
+            or self._scratch.size != self.num_vertices
+            or self._scratch_identity != identity
+        ):
+            self._scratch = np.full(self.num_vertices, identity)
+            self._scratch_identity = identity
+        return self._scratch
 
     def prop(self, name: str) -> np.ndarray:
         """Property array by name."""

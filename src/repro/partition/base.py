@@ -31,7 +31,7 @@ class PartitionAssignment:
         total part count (parts may be empty).
     """
 
-    __slots__ = ("parts", "num_parts")
+    __slots__ = ("parts", "num_parts", "_edge_parts_graph", "_edge_parts")
 
     def __init__(self, parts: np.ndarray, num_parts: int) -> None:
         parts = np.ascontiguousarray(parts, dtype=np.int64)
@@ -46,6 +46,8 @@ class PartitionAssignment:
             )
         self.parts = parts
         self.num_parts = int(num_parts)
+        self._edge_parts_graph: Optional[CSRGraph] = None
+        self._edge_parts: Optional[np.ndarray] = None
 
     @property
     def num_vertices(self) -> int:
@@ -64,6 +66,23 @@ class PartitionAssignment:
     def sizes(self) -> np.ndarray:
         """Vertex count per part."""
         return np.bincount(self.parts, minlength=self.num_parts).astype(np.int64)
+
+    def edge_source_parts(self, graph: CSRGraph) -> np.ndarray:
+        """``int64[m]`` owning part of each edge's *source*, CSR-aligned.
+
+        ``result[e] == parts[src(e)]`` for the edge stored at
+        ``graph.indices[e]``.  Computed once per (assignment, graph) pair
+        and cached read-only — the engine's structural profiling keys every
+        traversed edge by its source part, and rebuilding that |E|-sized
+        gather each iteration dominates the full-frontier hot loop.
+        """
+        self._check_graph(graph)
+        if self._edge_parts is None or self._edge_parts_graph is not graph:
+            edge_parts = np.repeat(self.parts, np.diff(graph.indptr))
+            edge_parts.setflags(write=False)
+            self._edge_parts_graph = graph
+            self._edge_parts = edge_parts
+        return self._edge_parts
 
     def edge_sizes(self, graph: CSRGraph) -> np.ndarray:
         """Out-edge count stored on each part (edge lists follow their source)."""

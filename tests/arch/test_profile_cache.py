@@ -1,0 +1,101 @@
+"""Structural-profile cache: hits for stable frontiers, misses otherwise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.engine import (
+    StructuralProfileCache,
+    frontier_structure,
+    prepare_graph,
+)
+from repro.arch.trace import record_trace
+from repro.kernels.registry import get_kernel
+from repro.partition.random_hash import HashPartitioner
+
+
+@pytest.fixture
+def assigned(lj_tiny):
+    kernel = get_kernel("pagerank")
+    prepared = prepare_graph(lj_tiny, kernel)
+    assignment = HashPartitioner().partition(prepared, 4, seed=0)
+    return prepared, assignment
+
+
+class TestCacheUnit:
+    def test_identical_frontier_hits(self, assigned):
+        graph, assignment = assigned
+        cache = StructuralProfileCache()
+        frontier = np.arange(graph.num_vertices, dtype=np.int64)
+        first = frontier_structure(graph, frontier, assignment, cache=cache)
+        second = frontier_structure(graph, frontier.copy(), assignment, cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        # A hit replays the stored structure, not a recomputed equal one.
+        assert second is first
+
+    def test_cached_structure_matches_uncached(self, assigned):
+        graph, assignment = assigned
+        cache = StructuralProfileCache()
+        frontier = np.arange(graph.num_vertices, dtype=np.int64)
+        frontier_structure(graph, frontier, assignment, cache=cache)
+        cached = frontier_structure(graph, frontier, assignment, cache=cache)
+        fresh = frontier_structure(graph, frontier, assignment)
+        np.testing.assert_array_equal(cached.dst, fresh.dst)
+        np.testing.assert_array_equal(cached.pair_dst, fresh.pair_dst)
+        np.testing.assert_array_equal(cached.pair_part, fresh.pair_part)
+        np.testing.assert_array_equal(
+            cached.partials_per_part, fresh.partials_per_part
+        )
+        np.testing.assert_array_equal(
+            cached.updates_per_destination, fresh.updates_per_destination
+        )
+        np.testing.assert_array_equal(cached.edges_per_part, fresh.edges_per_part)
+        assert cached.edges_traversed == fresh.edges_traversed
+
+    def test_shrinking_frontier_invalidates(self, assigned):
+        graph, assignment = assigned
+        cache = StructuralProfileCache()
+        full = np.arange(graph.num_vertices, dtype=np.int64)
+        frontier_structure(graph, full, assignment, cache=cache)
+        shrunk = full[: graph.num_vertices // 2]
+        frontier_structure(graph, shrunk, assignment, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+        # And the shrunk entry replaced the full one.
+        frontier_structure(graph, shrunk, assignment, cache=cache)
+        assert cache.hits == 1
+
+    def test_assignment_change_invalidates(self, assigned):
+        graph, assignment = assigned
+        other = HashPartitioner().partition(graph, 4, seed=99)
+        cache = StructuralProfileCache()
+        frontier = np.arange(graph.num_vertices, dtype=np.int64)
+        frontier_structure(graph, frontier, assignment, cache=cache)
+        frontier_structure(graph, frontier, other, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_stored_arrays_are_read_only(self, assigned):
+        graph, assignment = assigned
+        cache = StructuralProfileCache()
+        frontier = np.arange(graph.num_vertices, dtype=np.int64)
+        structure = frontier_structure(graph, frontier, assignment, cache=cache)
+        for arr in (structure.pair_dst, structure.partials_per_part):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+
+class TestCacheInTraces:
+    def test_pagerank_hits_every_iteration_after_first(self, lj_tiny):
+        trace = record_trace(
+            lj_tiny, get_kernel("pagerank"), num_parts=4, max_iterations=6
+        )
+        assert trace.cache_misses == 1
+        assert trace.cache_hits == trace.num_iterations - 1
+
+    def test_bfs_frontier_never_repeats(self, lj_tiny):
+        source = int(lj_tiny.out_degrees.argmax())
+        trace = record_trace(
+            lj_tiny, get_kernel("bfs"), num_parts=4, source=source
+        )
+        assert trace.cache_hits == 0
+        assert trace.cache_misses == trace.num_iterations

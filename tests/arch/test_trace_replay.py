@@ -1,0 +1,165 @@
+"""Execute-once/account-four-ways: replayed traces must be bit-identical
+to independent runs, and the kernel numerics must execute exactly once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.base import ArchitectureSimulator
+from repro.arch.compare import compare_architectures
+from repro.arch.disaggregated import DisaggregatedSimulator
+from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
+from repro.arch.distributed import DistributedSimulator
+from repro.arch.distributed_ndp import DistributedNDPSimulator
+from repro.arch.engine import (
+    numeric_execution_count,
+    reset_numeric_execution_count,
+)
+from repro.arch.trace import record_trace
+from repro.errors import SimulationError
+from repro.kernels.registry import get_kernel
+from repro.runtime.config import SystemConfig
+
+KERNELS = ("pagerank", "cc", "sssp", "bfs")
+
+
+def _simulators(cfg: SystemConfig):
+    ndp_cfg = cfg if cfg.enable_inc else cfg.with_options(enable_inc=True)
+    return [
+        DistributedSimulator(cfg),
+        DistributedNDPSimulator(cfg),
+        DisaggregatedSimulator(cfg),
+        DisaggregatedNDPSimulator(ndp_cfg),
+    ]
+
+
+def _source_for(kernel, graph):
+    return int(graph.out_degrees.argmax()) if kernel.needs_source else None
+
+
+@pytest.mark.parametrize("kernel_name", KERNELS)
+class TestReplayMatchesIndependentRuns:
+    """One shared trace through ``replay`` == four fresh ``run`` calls."""
+
+    def test_bit_identical(self, kernel_name, lj_tiny, config4):
+        kernel = get_kernel(kernel_name)
+        source = _source_for(kernel, lj_tiny)
+        independent = [
+            sim.run(
+                lj_tiny,
+                kernel,
+                source=source,
+                max_iterations=10,
+                graph_name="lj",
+                seed=3,
+            )
+            for sim in _simulators(config4)
+        ]
+        trace = record_trace(
+            lj_tiny,
+            kernel,
+            num_parts=config4.num_memory_nodes,
+            source=source,
+            max_iterations=10,
+            graph_name="lj",
+            seed=3,
+        )
+        replayed = [sim.replay(trace) for sim in _simulators(config4)]
+
+        for ind, rep in zip(independent, replayed):
+            assert rep.architecture == ind.architecture
+            assert rep.converged == ind.converged
+            # Per-iteration movement and timing, field for field.
+            assert rep.iterations == ind.iterations
+            assert rep.total_host_link_bytes == ind.total_host_link_bytes
+            assert rep.total_network_bytes == ind.total_network_bytes
+            assert rep.total_sync_seconds == ind.total_sync_seconds
+            # Kernel output arrays must match bitwise.
+            np.testing.assert_array_equal(
+                rep.result_property(), ind.result_property()
+            )
+
+    def test_final_state_is_shared(self, kernel_name, lj_tiny, config4):
+        kernel = get_kernel(kernel_name)
+        trace = record_trace(
+            lj_tiny,
+            kernel,
+            num_parts=config4.num_memory_nodes,
+            source=_source_for(kernel, lj_tiny),
+            max_iterations=5,
+        )
+        replayed = [sim.replay(trace) for sim in _simulators(config4)]
+        assert all(r.final_state is trace.final_state for r in replayed)
+
+
+class TestExecuteOnce:
+    def test_compare_runs_numerics_once(self, lj_tiny):
+        kernel = get_kernel("pagerank")
+        reset_numeric_execution_count()
+        comparison = compare_architectures(
+            lj_tiny, kernel, max_iterations=6, graph_name="lj"
+        )
+        assert comparison.trace is not None
+        # One numeric execution per iteration — not one per architecture.
+        assert numeric_execution_count() == comparison.trace.num_iterations
+        assert len(comparison.rows) == 4
+
+    def test_independent_compare_runs_numerics_four_times(self, lj_tiny):
+        kernel = get_kernel("pagerank")
+        reset_numeric_execution_count()
+        comparison = compare_architectures(
+            lj_tiny,
+            kernel,
+            max_iterations=6,
+            graph_name="lj",
+            shared_trace=False,
+        )
+        assert comparison.trace is None
+        iters = comparison.rows[0].run.num_iterations
+        assert numeric_execution_count() == 4 * iters
+
+    def test_compare_paths_agree(self, lj_tiny):
+        kernel = get_kernel("cc")
+        shared = compare_architectures(lj_tiny, kernel, max_iterations=8)
+        independent = compare_architectures(
+            lj_tiny, kernel, max_iterations=8, shared_trace=False
+        )
+        assert shared.labels() == independent.labels()
+        for s_row, i_row in zip(shared.rows, independent.rows):
+            assert s_row.total_host_link_bytes == i_row.total_host_link_bytes
+            assert s_row.run.iterations == i_row.run.iterations
+
+
+class TestReplayValidation:
+    def test_partition_count_mismatch(self, lj_tiny, config4, config8):
+        trace = record_trace(
+            lj_tiny,
+            get_kernel("pagerank"),
+            num_parts=config4.num_memory_nodes,
+            max_iterations=2,
+        )
+        with pytest.raises(SimulationError, match="parts"):
+            DisaggregatedSimulator(config8).replay(trace)
+
+    def test_mirrorless_trace_rejected_by_distributed(self, lj_tiny, config4):
+        trace = record_trace(
+            lj_tiny,
+            get_kernel("pagerank"),
+            num_parts=config4.num_memory_nodes,
+            max_iterations=2,
+            with_mirrors=False,
+        )
+        with pytest.raises(SimulationError, match="mirror"):
+            DistributedSimulator(config4).replay(trace)
+
+    def test_mirrorless_trace_fine_for_disaggregated(self, lj_tiny, config4):
+        trace = record_trace(
+            lj_tiny,
+            get_kernel("pagerank"),
+            num_parts=config4.num_memory_nodes,
+            max_iterations=2,
+            with_mirrors=False,
+        )
+        run = DisaggregatedSimulator(config4).replay(trace)
+        assert run.num_iterations == trace.num_iterations

@@ -1,0 +1,105 @@
+"""Sweep runner: shared-memory CSR publication and serial/parallel parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import build_parser
+from repro.experiments.sweep import (
+    SweepTask,
+    attach_shared_graph,
+    fig7_sweep_tasks,
+    run_sweep,
+    share_graph,
+)
+
+TASKS = [
+    SweepTask("livejournal-sim", "pagerank", 8, "tiny", 7, max_iterations=5),
+    SweepTask("livejournal-sim", "bfs", 8, "tiny", 7, max_iterations=10),
+    SweepTask("livejournal-sim", "cc", 8, "tiny", 7, max_iterations=10),
+    SweepTask("wikitalk-sim", "sssp", 4, "tiny", 7, max_iterations=10),
+]
+
+
+class TestSharedGraph:
+    def test_roundtrip(self, lj_tiny):
+        spec, segments = share_graph(lj_tiny, tag="test-roundtrip")
+        attached_segments = []
+        try:
+            attached, attached_segments = attach_shared_graph(spec)
+            np.testing.assert_array_equal(attached.indptr, lj_tiny.indptr)
+            np.testing.assert_array_equal(attached.indices, lj_tiny.indices)
+            assert attached.weights is None
+            assert attached.num_vertices == lj_tiny.num_vertices
+            # Attached views are read-only borrowings of the segments.
+            with pytest.raises(ValueError):
+                attached.indices[0] = 0
+        finally:
+            for shm in attached_segments:
+                shm.close()
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+
+    def test_weighted_roundtrip(self, weighted_er):
+        spec, segments = share_graph(weighted_er, tag="test-weighted")
+        attached_segments = []
+        try:
+            attached, attached_segments = attach_shared_graph(spec)
+            np.testing.assert_array_equal(attached.weights, weighted_er.weights)
+        finally:
+            for shm in attached_segments:
+                shm.close()
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+
+    def test_spec_is_tiny(self, lj_tiny):
+        spec, segments = share_graph(lj_tiny, tag="test-size")
+        try:
+            assert len(spec.segment_names) == 2
+            # The descriptor carries names and shapes, never array payloads.
+            assert spec.indices.shape == (lj_tiny.num_edges,)
+        finally:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+
+
+class TestRunSweep:
+    def test_empty(self):
+        assert run_sweep([]) == []
+
+    def test_serial_outcomes(self):
+        outcomes = run_sweep(TASKS, jobs=1)
+        assert [o.task for o in outcomes] == TASKS
+        for out in outcomes:
+            assert out.num_iterations == len(out.fetch_bytes)
+            assert out.num_iterations == len(out.offload_bytes)
+            assert out.total_fetch_bytes > 0
+            assert len(out.result_sha256) == 64
+
+    def test_parallel_matches_serial_exactly(self):
+        serial = run_sweep(TASKS, jobs=1)
+        parallel = run_sweep(TASKS, jobs=4)
+        assert serial == parallel
+
+    def test_fig7_tasks_cover_panels(self):
+        tasks = fig7_sweep_tasks(tier="tiny", seed=7)
+        labels = {t.label for t in tasks}
+        assert "cc/twitter7-sim/p32" in labels
+        assert "sssp/livejournal-sim/p32" in labels
+        assert "pagerank/uk2005-sim/p80" in labels
+        assert len(tasks) >= 4
+
+
+class TestSweepCLI:
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["run", "sweep", "--jobs", "4"])
+        assert args.jobs == 4
+        assert args.experiment == "sweep"
+
+    def test_jobs_defaults_to_serial(self):
+        args = build_parser().parse_args(["run", "fig7"])
+        assert args.jobs == 1
