@@ -22,11 +22,23 @@ from repro.errors import (
     CapabilityError,
     ConfigError,
     ExperimentError,
+    FaultError,
     GraphError,
     KernelError,
     PartitionError,
+    RecoveryError,
     ReproError,
     SimulationError,
+)
+from repro.faults import (
+    AdaptiveCheckpoint,
+    CheckpointPolicy,
+    EveryKCheckpoint,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    NoCheckpoint,
 )
 from repro.graph import (
     CSRGraph,
@@ -108,6 +120,17 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "ExperimentError",
+    "FaultError",
+    "RecoveryError",
+    # faults
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "CheckpointPolicy",
+    "NoCheckpoint",
+    "EveryKCheckpoint",
+    "AdaptiveCheckpoint",
     # graph
     "CSRGraph",
     "GraphBuilder",

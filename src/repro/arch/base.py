@@ -10,14 +10,18 @@ its architecture's placement rules.  Subclasses implement a single hook,
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import FaultError, RecoveryError, SimulationError
+from repro.faults.checkpoint import CheckpointPolicy
+from repro.faults.events import FaultEvent, FaultKind
+from repro.faults.recovery import FaultRuntime, FaultsLike, as_schedule
 from repro.graph.csr import CSRGraph
 from repro.kernels.base import KernelState, VertexProgram
+from repro.net.link import LinkClass
 from repro.net.topology import ClusterTopology
 from repro.partition.base import PartitionAssignment, Partitioner
 from repro.partition.mirrors import MirrorTable, build_mirror_table
@@ -30,6 +34,7 @@ from repro.arch.engine import (
 )
 from repro.arch.results import IterationStats, RunResult
 from repro.runtime.config import SystemConfig
+from repro.runtime.cost_model import edge_record_bytes
 from repro.utils.rng import SeedLike
 
 
@@ -45,6 +50,8 @@ class RunContext:
     topology: ClusterTopology
     config: SystemConfig
     result: RunResult
+    #: per-run fault state; ``None`` on the (bit-identical) fault-free path
+    faults: Optional[FaultRuntime] = None
 
 
 class ArchitectureSimulator(abc.ABC):
@@ -76,6 +83,8 @@ class ArchitectureSimulator(abc.ABC):
         max_iterations: Optional[int] = None,
         graph_name: str = "graph",
         seed: SeedLike = 0,
+        faults: FaultsLike = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
     ) -> RunResult:
         """Execute ``kernel`` on ``graph`` under this architecture.
 
@@ -89,6 +98,11 @@ class ArchitectureSimulator(abc.ABC):
             source vertex for rooted kernels (BFS/SSSP).
         max_iterations:
             cap overriding the kernel's own default.
+        faults / checkpoint:
+            optional fault schedule (or :class:`~repro.faults.FaultSpec`)
+            injected at iteration boundaries, and the checkpoint policy
+            whose bytes are accounted alongside recovery traffic.  Faults
+            never change the kernel numerics — only the accounting.
         """
         if not kernel.supports_engine:
             raise SimulationError(
@@ -134,6 +148,7 @@ class ArchitectureSimulator(abc.ABC):
             topology=self.config.topology(),
             config=self.config,
             result=result,
+            faults=self._fault_runtime(faults, checkpoint, num_parts),
         )
 
         state = kernel.initial_state(prepared, source=source)
@@ -152,7 +167,7 @@ class ArchitectureSimulator(abc.ABC):
                 mirrors_per_vertex=mirrors_per_vertex,
                 cache=cache,
             )
-            stats = self._account(profile, ctx)
+            stats = self._account_iteration(profile, ctx)
             result.iterations.append(stats)
             if kernel.has_converged(state):
                 result.converged = True
@@ -162,7 +177,14 @@ class ArchitectureSimulator(abc.ABC):
         result.final_state = state
         return result
 
-    def replay(self, trace, *, graph_name: Optional[str] = None) -> RunResult:
+    def replay(
+        self,
+        trace,
+        *,
+        graph_name: Optional[str] = None,
+        faults: FaultsLike = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
+    ) -> RunResult:
         """Account a recorded :class:`~repro.arch.trace.ExecutionTrace`.
 
         Replays each recorded iteration profile through this architecture's
@@ -170,7 +192,9 @@ class ArchitectureSimulator(abc.ABC):
         paper's "run once, account what each deployment would have moved".
         The returned :class:`RunResult` is bit-identical to what
         :meth:`run` produces for the same workload; its ``final_state`` is
-        the trace's (shared across every replaying simulator).
+        the trace's (shared across every replaying simulator).  ``faults``
+        and ``checkpoint`` behave exactly as in :meth:`run` — faults only
+        touch the accounting, so they compose naturally with replay.
         """
         kernel = trace.kernel
         if not kernel.supports_engine:
@@ -208,10 +232,11 @@ class ArchitectureSimulator(abc.ABC):
             topology=self.config.topology(),
             config=self.config,
             result=result,
+            faults=self._fault_runtime(faults, checkpoint, num_parts),
         )
         self._on_run_start(ctx, trace.final_state)
         for profile in trace.profiles:
-            result.iterations.append(self._account(profile, ctx))
+            result.iterations.append(self._account_iteration(profile, ctx))
         result.converged = trace.converged
         result.final_state = trace.final_state
         return result
@@ -226,6 +251,231 @@ class ArchitectureSimulator(abc.ABC):
 
     def _on_run_start(self, ctx: RunContext, state: KernelState) -> None:
         """Optional per-run setup hook (e.g. initial graph distribution)."""
+
+    # ------------------------------------------------------------------ #
+    # Fault injection and recovery accounting
+    # ------------------------------------------------------------------ #
+
+    #: link class carrying shard re-replication traffic: pool-internal for
+    #: disaggregated architectures, node-to-node host links for coupled ones
+    recovery_link_class: LinkClass = LinkClass.HOST_LINK
+    #: coupled NDP clusters have no host fallback inside a node, so a failed
+    #: accelerator takes the whole node's shard out of service (crash
+    #: semantics); everywhere else the node's DRAM stays reachable
+    ndp_failure_is_fatal: bool = False
+
+    @staticmethod
+    def _fault_runtime(
+        faults: FaultsLike,
+        checkpoint: Optional[CheckpointPolicy],
+        num_parts: int,
+    ) -> Optional[FaultRuntime]:
+        """Per-run fault state, or ``None`` for the fault-free fast path."""
+        schedule = as_schedule(faults)
+        if schedule is None and checkpoint is None:
+            return None
+        return FaultRuntime(schedule, num_parts=num_parts, checkpoint=checkpoint)
+
+    def _account_iteration(
+        self, profile: IterationProfile, ctx: RunContext
+    ) -> IterationStats:
+        """Account one iteration, injecting any faults due at its boundary.
+
+        The fault-free path (``ctx.faults is None``) is exactly one
+        ``_account`` call — bit-identical to pre-fault behaviour, which the
+        trace-replay tests pin down.
+        """
+        runtime = ctx.faults
+        if runtime is None:
+            return self._wrapped_account(profile, ctx)
+
+        events = runtime.begin_iteration(profile.iteration)
+        counters = ctx.result.counters
+        phases: Dict[str, int] = {}
+        host_extra = 0
+        network_extra = 0
+        recovery_seconds = 0.0
+        for event in events:
+            counters.add("fault-events")
+            fatal = event.kind is FaultKind.MEMORY_NODE_CRASH or (
+                event.kind is FaultKind.NDP_DEVICE_FAILURE
+                and self.ndp_failure_is_fatal
+            )
+            if fatal:
+                h, n, s = self._account_crash_recovery(event, ctx, phases)
+                host_extra += h
+                network_extra += n
+                recovery_seconds += s
+            elif event.kind is FaultKind.NDP_DEVICE_FAILURE:
+                # Device-down window is tracked by the runtime; the offload
+                # path consults it and falls back to host fetch (see
+                # DisaggregatedNDPSimulator._account).
+                counters.add("fault-ndp-failures")
+            elif event.kind is FaultKind.LINK_DEGRADATION:
+                counters.add("fault-link-degradations")
+
+        if runtime.tracks_link_health:
+            # Rebuild link state from the active windows every iteration so
+            # expired degradations restore to full health.
+            if runtime.pristine_topology is None:
+                runtime.pristine_topology = ctx.topology
+            ctx.topology = runtime.degraded_topology(
+                profile.iteration, runtime.pristine_topology
+            )
+
+        stats = self._wrapped_account(profile, ctx)
+
+        for event in events:
+            if event.kind is not FaultKind.MESSAGE_DROP:
+                continue
+            counters.add("fault-message-drops")
+            lost = int(np.ceil(event.drop_fraction * stats.host_link_bytes))
+            if lost:
+                ctx.result.ledger.record(
+                    "recovery-retransmit", LinkClass.HOST_LINK, lost, 1
+                )
+                phases["recovery-retransmit"] = (
+                    phases.get("recovery-retransmit", 0) + lost
+                )
+                counters.add("recovery-retransmitted-bytes", lost)
+                host_extra += lost
+                network_extra += lost
+                recovery_seconds += ctx.topology.host_link.transfer_seconds(
+                    float(lost), 1
+                )
+
+        ck_bytes = runtime.checkpoint.bytes_at(
+            profile.iteration,
+            state_bytes=ctx.kernel.prop_push_bytes * ctx.graph.num_vertices,
+            changed_bytes=ctx.kernel.message.wire_bytes * int(profile.changed.size),
+        )
+        if ck_bytes:
+            ctx.result.ledger.record(
+                "checkpoint", LinkClass.HOST_LINK, ck_bytes, 1
+            )
+            phases["checkpoint"] = phases.get("checkpoint", 0) + ck_bytes
+            counters.add("checkpoint-count")
+            counters.add("checkpoint-bytes", ck_bytes)
+            host_extra += ck_bytes
+            network_extra += ck_bytes
+            recovery_seconds += ctx.topology.host_link.transfer_seconds(
+                float(ck_bytes), 1
+            )
+
+        if not phases and recovery_seconds == 0.0:
+            return stats
+        return replace(
+            stats,
+            host_link_bytes=stats.host_link_bytes + host_extra,
+            network_bytes=stats.network_bytes + network_extra,
+            bytes_by_phase={**stats.bytes_by_phase, **phases},
+            recovery_bytes=stats.recovery_bytes + sum(phases.values()),
+            recovery_seconds=stats.recovery_seconds + recovery_seconds,
+        )
+
+    def _wrapped_account(
+        self, profile: IterationProfile, ctx: RunContext
+    ) -> IterationStats:
+        """Run ``_account`` with structured error context attached."""
+        try:
+            return self._account(profile, ctx)
+        except SimulationError as exc:
+            exc.context.setdefault("iteration", profile.iteration)
+            exc.context.setdefault("architecture", self.name)
+            raise
+
+    def _account_crash_recovery(
+        self,
+        event: FaultEvent,
+        ctx: RunContext,
+        phases: Dict[str, int],
+    ) -> Tuple[int, int, float]:
+        """Account restoring a crashed node's shard; returns byte/time deltas.
+
+        Returns ``(host_link_delta, network_delta, seconds)``.  With a
+        replicated pool (``replication_factor >= 2``) survivors stream the
+        shard over :attr:`recovery_link_class`; otherwise the hosts rebuild
+        it from source storage and push it down (host link, plus the pool
+        leg on disaggregated deployments).  NDP-equipped targets additionally
+        re-ingest the shard through the device (internal traffic).
+        """
+        runtime = ctx.faults
+        assert runtime is not None
+        counters = ctx.result.counters
+        ledger = ctx.result.ledger
+        topo = ctx.topology
+        if event.part >= ctx.assignment.num_parts:
+            raise FaultError(
+                f"fault targets part {event.part}, run has only "
+                f"{ctx.assignment.num_parts} parts"
+            )
+        if not runtime.has_shard_bytes:
+            runtime.set_shard_bytes(self._shard_wire_bytes(ctx))
+        shard = runtime.shard_bytes_of(event.part)
+        shard += self._crash_extra_state_bytes(event, ctx)
+        counters.add("fault-memory-crashes")
+
+        if runtime.schedule.replication_factor >= 2:
+            if ctx.assignment.num_parts < 2:
+                raise RecoveryError(
+                    "cannot re-replicate from survivors: the pool has a "
+                    "single node (all replicas were co-located)"
+                )
+            link = (
+                topo.memory_link
+                if self.recovery_link_class is LinkClass.MEMORY_LINK
+                else topo.host_link
+            )
+            ledger.record("recovery-rereplicate", self.recovery_link_class, shard, 1)
+            phases["recovery-rereplicate"] = (
+                phases.get("recovery-rereplicate", 0) + shard
+            )
+            counters.add("recovery-rereplicated-bytes", shard)
+            seconds = link.transfer_seconds(float(shard), 1)
+            host_delta = (
+                shard if self.recovery_link_class is LinkClass.HOST_LINK else 0
+            )
+            network_delta = shard
+        else:
+            # Rebuild-from-source: the read from durable storage is outside
+            # the modeled system; what crosses it is the push back down.
+            ledger.record("recovery-rebuild", LinkClass.HOST_LINK, shard, 1)
+            phases["recovery-rebuild"] = phases.get("recovery-rebuild", 0) + shard
+            counters.add("recovery-rebuilt-bytes", shard)
+            seconds = topo.host_link.transfer_seconds(float(shard), 1)
+            host_delta = shard
+            network_delta = shard
+            if self.is_disaggregated:
+                # The shard also traverses the switch -> pool-node leg.
+                ledger.record(
+                    "recovery-rebuild", LinkClass.MEMORY_LINK, shard, 1
+                )
+                network_delta += shard
+                seconds = max(
+                    seconds, topo.memory_link.transfer_seconds(float(shard), 1)
+                )
+
+        if self.has_near_memory_acceleration and ctx.config.ndp_device is not None:
+            # The replacement node's NDP device re-ingests the shard into
+            # its banks: internal traffic, off the network metric.
+            ledger.record("recovery-ndp-ingest", LinkClass.NDP_INTERNAL, shard, 1)
+            phases["recovery-ndp-ingest"] = (
+                phases.get("recovery-ndp-ingest", 0) + shard
+            )
+            seconds += ctx.config.ndp_device.memory_seconds(float(shard))
+        return host_delta, network_delta, seconds
+
+    def _shard_wire_bytes(self, ctx: RunContext) -> np.ndarray:
+        """``int64[k]`` wire size of each part's shard: edges + properties."""
+        eb = edge_record_bytes(ctx.kernel)
+        return (
+            eb * ctx.assignment.edge_sizes(ctx.graph)
+            + ctx.kernel.prop_push_bytes * ctx.assignment.sizes()
+        )
+
+    def _crash_extra_state_bytes(self, event: FaultEvent, ctx: RunContext) -> int:
+        """Extra state restored with a crashed node's shard (default none)."""
+        return 0
 
     def num_partitions(self) -> int:
         """Partition count for this architecture (= pool/cluster nodes)."""

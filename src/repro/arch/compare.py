@@ -25,6 +25,8 @@ from repro.arch.distributed import DistributedSimulator
 from repro.arch.distributed_ndp import DistributedNDPSimulator
 from repro.arch.results import RunResult
 from repro.arch.trace import ExecutionTrace, record_trace
+from repro.faults.checkpoint import CheckpointPolicy
+from repro.faults.recovery import FaultsLike
 from repro.graph.csr import CSRGraph
 from repro.kernels.base import VertexProgram
 from repro.partition.base import Partitioner
@@ -126,6 +128,8 @@ def compare_architectures(
     target_iteration_seconds: float = 1.0,
     seed: int = 0,
     shared_trace: bool = True,
+    faults: FaultsLike = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> ArchitectureComparison:
     """Run all four architectures on one workload and label the rows.
 
@@ -139,6 +143,10 @@ def compare_architectures(
     ``shared_trace`` executes the kernel once and replays the recorded
     trace through every simulator (default); disabling it re-executes the
     numerics per architecture, producing bit-identical rows ~4× slower.
+    ``faults`` injects the same seed-driven fault schedule into every
+    architecture's accounting pass (numerics are unaffected), so the rows
+    additionally carry each deployment's recovery bill; ``checkpoint``
+    adds a checkpoint policy's steady-state movement on top.
     """
     cfg = config or SystemConfig()
     ndp_cfg = cfg if cfg.enable_inc else cfg.with_options(enable_inc=True)
@@ -162,7 +170,10 @@ def compare_architectures(
             graph_name=graph_name,
             seed=seed,
         )
-        runs = [sim.replay(trace) for sim in simulators]
+        runs = [
+            sim.replay(trace, faults=faults, checkpoint=checkpoint)
+            for sim in simulators
+        ]
     else:
         runs = [
             sim.run(
@@ -173,6 +184,8 @@ def compare_architectures(
                 max_iterations=max_iterations,
                 graph_name=graph_name,
                 seed=seed,
+                faults=faults,
+                checkpoint=checkpoint,
             )
             for sim in simulators
         ]

@@ -25,6 +25,9 @@ class DisaggregatedSimulator(ArchitectureSimulator):
     name = "disaggregated"
     has_near_memory_acceleration = False
     is_disaggregated = True
+    #: re-replication streams pool-node to pool-node through the switch;
+    #: the host links never see it (resource independence, Section II)
+    recovery_link_class = LinkClass.MEMORY_LINK
 
     def _account(self, profile: IterationProfile, ctx: RunContext) -> IterationStats:
         return self._account_fetch(profile, ctx, offloaded=False)

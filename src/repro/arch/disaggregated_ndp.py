@@ -73,6 +73,15 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
         if mask.any() and not capability.allowed:
             ctx.result.counters.add("offload-denied-capability")
             mask = np.zeros_like(mask)
+        if ctx.faults is not None:
+            # Graceful degradation: shards whose NDP device is down fall
+            # back to host fetch — their edges stream over the network while
+            # the healthy shards keep offloading.
+            down = ctx.faults.ndp_down_mask(profile.iteration)
+            denied = mask & down
+            if denied.any():
+                ctx.result.counters.add("offload-denied-fault", int(denied.sum()))
+                mask = mask & ~down
 
         # Feed the realized counts back to adaptive policies (a real runtime
         # sees the update buffers at the end of every iteration).
@@ -108,6 +117,11 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
             num_parts=ctx.assignment.num_parts,
             edges_per_part=profile.edges_per_part,
             frontier_per_part=profile.frontier_per_part,
+            failed_parts=(
+                ctx.faults.ndp_down_mask(profile.iteration)
+                if ctx.faults is not None
+                else None
+            ),
             exact_partial_pairs=profile.partial_update_pairs,
             exact_distinct_destinations=profile.distinct_destinations,
             exact_updates_per_destination=profile.updates_per_destination,

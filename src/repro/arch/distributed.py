@@ -122,6 +122,18 @@ class DistributedSimulator(ArchitectureSimulator):
             sync_participants=participants,
         )
 
+    def _crash_extra_state_bytes(self, event, ctx: RunContext) -> int:
+        """A replacement node must also repopulate its mirror cache.
+
+        Mirrors are derived state — the masters re-broadcast their current
+        values to the mirrors hosted on the recovering part
+        (``prop_push_bytes`` each), on top of the shard itself.
+        """
+        if ctx.mirror_table is None:
+            return 0
+        mirrors = int(ctx.mirror_table.mirrors_per_part()[event.part])
+        return ctx.kernel.prop_push_bytes * mirrors
+
     # ------------------------------------------------------------------ #
     # Hooks the NDP subclass overrides
     # ------------------------------------------------------------------ #

@@ -28,6 +28,10 @@ class DistributedNDPSimulator(DistributedSimulator):
     name = "distributed-ndp"
     has_near_memory_acceleration = True
     is_disaggregated = False
+    #: the PIM units are the node's only execution engine for the shard —
+    #: there is no host fallback inside a node, so a failed device takes the
+    #: whole node out of service (crash-and-recover semantics)
+    ndp_failure_is_fatal = True
 
     def __init__(self, config: Optional[SystemConfig] = None) -> None:
         super().__init__(config)

@@ -39,6 +39,11 @@ class IterationStats:
     #: memory nodes whose traversal ran near-data this iteration; -1 means
     #: the decision was global (all parts follow ``offloaded``)
     offloaded_parts: int = -1
+    #: bytes moved by fault recovery (re-replication/rebuild, retransmit)
+    #: and checkpointing at this iteration's boundary; 0 when fault-free
+    recovery_bytes: int = 0
+    #: modeled time of those recovery transfers (serialized with the phases)
+    recovery_seconds: float = 0.0
 
     @property
     def iteration_seconds(self) -> float:
@@ -48,6 +53,7 @@ class IterationStats:
             + self.movement_seconds
             + self.apply_seconds
             + self.sync_seconds
+            + self.recovery_seconds
         )
 
 
@@ -98,6 +104,11 @@ class RunResult:
     @property
     def total_edges_traversed(self) -> int:
         return sum(s.edges_traversed for s in self.iterations)
+
+    @property
+    def total_recovery_bytes(self) -> int:
+        """Bytes moved by fault recovery and checkpointing (0 fault-free)."""
+        return sum(s.recovery_bytes for s in self.iterations)
 
     def result_property(self) -> np.ndarray:
         """The kernel's output array (requires a completed run)."""

@@ -23,6 +23,12 @@ from typing import Optional, Sequence
 from repro.arch.energy import estimate_run_energy
 from repro.arch.registry import get_architecture, list_architectures
 from repro.errors import ReproError
+from repro.faults.checkpoint import (
+    AdaptiveCheckpoint,
+    EveryKCheckpoint,
+    list_checkpoint_policies,
+)
+from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.graph import io as graph_io
 from repro.graph.datasets import list_datasets, load_dataset
 from repro.kernels.registry import get_kernel, list_kernels
@@ -89,6 +95,42 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of replaying one shared trace (bit-identical, ~4x slower)",
     )
     parser.add_argument("--max-iterations", type=int, default=None)
+    parser.add_argument(
+        "--crash-at",
+        metavar="ITER:PART",
+        default=None,
+        help="inject one memory-node crash at that iteration boundary "
+        "(accounting only; the numerics are untouched)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="expand a probabilistic fault schedule (crashes, NDP failures, "
+        "link degradation, message drops) from this seed",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="R",
+        help="shard replicas kept in the pool; >= 2 recovers crashes by "
+        "re-replicating from survivors instead of rebuilding from source",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default="none",
+        choices=list_checkpoint_policies(),
+        help="checkpoint policy charged to the movement ledger",
+    )
+    parser.add_argument(
+        "--checkpoint-k",
+        type=int,
+        default=5,
+        metavar="K",
+        help="snapshot interval for --checkpoint every-k",
+    )
     parser.add_argument("--trace-csv", default=None, help="write per-iteration trace CSV")
     parser.add_argument("--trace-jsonl", default=None, help="write per-iteration trace JSONL")
     parser.add_argument("--energy", action="store_true", help="print the energy estimate")
@@ -96,6 +138,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="summary line only, no iteration table"
     )
     return parser
+
+
+def _build_faults(args: argparse.Namespace):
+    """Fault schedule (or None) from the CLI's fault flags."""
+    if args.crash_at is not None:
+        raw_iter, sep, raw_part = args.crash_at.partition(":")
+        if not sep:
+            raise ReproError(
+                f"--crash-at expects ITER:PART, got {args.crash_at!r}"
+            )
+        return FaultSchedule.single_crash(
+            iteration=int(raw_iter),
+            part=int(raw_part),
+            replication_factor=args.replication,
+        )
+    if args.fault_seed is not None:
+        return FaultSpec(
+            seed=args.fault_seed,
+            num_parts=args.parts,
+            memory_crash_prob=0.05,
+            ndp_failure_prob=0.10,
+            link_degradation_prob=0.10,
+            message_drop_prob=0.15,
+            replication_factor=args.replication,
+        )
+    return None
+
+
+def _build_checkpoint(args: argparse.Namespace):
+    """Checkpoint policy (or None) from the CLI's checkpoint flags."""
+    if args.checkpoint == "every-k":
+        return EveryKCheckpoint(k=args.checkpoint_k)
+    if args.checkpoint == "adaptive":
+        return AdaptiveCheckpoint()
+    return None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -149,6 +226,8 @@ def _run(args: argparse.Namespace) -> int:
         num_memory_nodes=args.parts,
         enable_inc=args.inc,
     )
+    faults = _build_faults(args)
+    checkpoint = _build_checkpoint(args)
     if args.compare:
         from repro.arch.compare import compare_architectures
 
@@ -162,8 +241,16 @@ def _run(args: argparse.Namespace) -> int:
             graph_name=graph_name,
             seed=args.seed,
             shared_trace=not args.independent_compare,
+            faults=faults,
+            checkpoint=checkpoint,
         )
         print(comparison.as_table())
+        if faults is not None or checkpoint is not None:
+            for row in comparison.rows:
+                print(
+                    f"{row.architecture}: recovery "
+                    f"{format_bytes(row.run.total_recovery_bytes)}"
+                )
         return 0
 
     if args.arch == "disaggregated-ndp":
@@ -181,6 +268,8 @@ def _run(args: argparse.Namespace) -> int:
         max_iterations=args.max_iterations,
         graph_name=graph_name,
         seed=args.seed,
+        faults=faults,
+        checkpoint=checkpoint,
     )
 
     if not args.quiet:
@@ -188,11 +277,22 @@ def _run(args: argparse.Namespace) -> int:
         print()
         print(movement_table(run.ledger))
         print()
+        if faults is not None or checkpoint is not None:
+            from repro.telemetry.report import fault_table
+
+            print(fault_table(run.ledger, run.counters))
+            print()
     status = "converged" if run.converged else "iteration cap reached"
+    recovery_note = (
+        f", recovery {format_bytes(run.total_recovery_bytes)}"
+        if run.total_recovery_bytes
+        else ""
+    )
     print(
         f"{run.architecture} / {run.kernel} on {graph_name}: "
         f"{run.num_iterations} iterations ({status}), "
-        f"{format_bytes(run.total_host_link_bytes)} moved, "
+        f"{format_bytes(run.total_host_link_bytes)} moved"
+        f"{recovery_note}, "
         f"modeled time {run.total_seconds * 1e3:.3f} ms"
     )
     if args.energy:

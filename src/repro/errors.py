@@ -6,6 +6,8 @@ callers can catch library failures without catching unrelated bugs.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -36,8 +38,48 @@ class ConfigError(ReproError):
 
 
 class SimulationError(ReproError):
-    """Internal inconsistency detected while simulating an execution."""
+    """Internal inconsistency detected while simulating an execution.
+
+    Carries a structured ``context`` dict so callers (and crash reports)
+    can see *where* the simulation went wrong without parsing the message:
+    the iteration number, the architecture name, and any extra key/value
+    pairs the raise site considered useful.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iteration: Optional[int] = None,
+        architecture: Optional[str] = None,
+        **extra: Any,
+    ) -> None:
+        super().__init__(message)
+        self.context: Dict[str, Any] = dict(extra)
+        if iteration is not None:
+            self.context["iteration"] = int(iteration)
+        if architecture is not None:
+            self.context["architecture"] = architecture
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
+        return f"{base} [{detail}]"
 
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with invalid parameters."""
+
+
+class FaultError(ReproError):
+    """Invalid fault specification, schedule, or injection request."""
+
+
+class RecoveryError(FaultError):
+    """A modeled recovery action could not be carried out.
+
+    Raised e.g. when a memory-node crash leaves no survivor to re-replicate
+    the failed shard onto, or a checkpoint policy is misconfigured.
+    """

@@ -7,7 +7,17 @@ them by id.
 """
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments import fig4, fig5, fig6, fig7, sweep, table1, table2, ablations
+from repro.experiments import (
+    ablations,
+    faults,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    sweep,
+    table1,
+    table2,
+)
 
 ALL_EXPERIMENTS = {
     "table1": table1.run,
@@ -17,6 +27,7 @@ ALL_EXPERIMENTS = {
     "fig6": fig6.run,
     "fig7": fig7.run,
     "sweep": sweep.run,
+    "faults": faults.run,
     "ablation-dynamic": ablations.run_dynamic_policy,
     "ablation-costmodel": ablations.run_cost_model_fidelity,
     "ablation-switch-buffer": ablations.run_switch_buffer,

@@ -54,6 +54,38 @@ def build_parser() -> argparse.ArgumentParser:
         "shared through shared memory, not pickled); other experiments "
         "ignore this flag",
     )
+    run_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task timeout for the 'sweep' experiment (hung workers "
+        "are killed and the task retried)",
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget for crashed or timed-out sweep workers "
+        "(exponential backoff between rounds)",
+    )
+    fail_mode = run_p.add_mutually_exclusive_group()
+    fail_mode.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        help="record sweep tasks that exhaust their retries as FAILED rows "
+        "and finish the rest",
+    )
+    fail_mode.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="abort the sweep on the first task that exhausts its retries "
+        "(default)",
+    )
+    fail_mode.set_defaults(keep_going=False)
     return parser
 
 
@@ -64,6 +96,9 @@ def run_experiment(
     seed: int = 7,
     json_dir: Optional[str] = None,
     jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    keep_going: bool = False,
 ) -> str:
     """Run one experiment and return its rendered report."""
     try:
@@ -76,7 +111,14 @@ def run_experiment(
     if experiment_id == "table1":
         result = fn()  # type: ignore[call-arg]
     elif experiment_id == "sweep":
-        result = fn(tier=tier, seed=seed, jobs=jobs)  # type: ignore[call-arg]
+        result = fn(  # type: ignore[call-arg]
+            tier=tier,
+            seed=seed,
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            keep_going=keep_going,
+        )
     else:
         result = fn(tier=tier, seed=seed)  # type: ignore[call-arg]
     if json_dir:
@@ -103,6 +145,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 seed=args.seed,
                 json_dir=args.json,
                 jobs=args.jobs,
+                timeout=args.timeout,
+                retries=args.retries,
+                keep_going=args.keep_going,
             )
         except ExperimentError as exc:
             print(f"error: {exc}", file=sys.stderr)

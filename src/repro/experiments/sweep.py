@@ -23,12 +23,18 @@ function in-process; the parallel path must produce bit-identical outcomes
 from __future__ import annotations
 
 import hashlib
+import json
+import os
 import secrets
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
 from multiprocessing import get_context
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +44,7 @@ from repro.arch.trace import record_trace
 from repro.errors import ExperimentError
 from repro.experiments.common import DEFAULT_SEED, DEFAULT_TIER, ExperimentResult
 from repro.experiments.fig7 import PANELS
+from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load_dataset
 from repro.kernels.registry import get_kernel
@@ -183,6 +190,9 @@ class SweepTask:
     tier: str = DEFAULT_TIER
     seed: int = DEFAULT_SEED
     max_iterations: int = 30
+    #: optional deterministic fault schedule injected into both replays
+    #: (accounting only — the recorded numerics are untouched)
+    fault_spec: Optional[FaultSpec] = None
 
     @property
     def label(self) -> str:
@@ -207,6 +217,21 @@ class SweepOutcome:
     result_sha256: str
     cache_hits: int
     cache_misses: int
+    #: recovery + checkpoint movement per deployment (0 when fault-free)
+    fetch_recovery_bytes: int = 0
+    offload_recovery_bytes: int = 0
+    #: digest of both deployments' full movement breakdowns — lets the
+    #: determinism tests compare entire ledgers across processes cheaply
+    ledger_sha256: str = ""
+    #: how many attempts the task took (>1 after worker-crash retries)
+    attempts: int = 1
+    #: failure description when the task exhausted its retries under
+    #: ``keep_going`` (every measurement field is then zero/empty)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def total_fetch_bytes(self) -> int:
@@ -236,11 +261,23 @@ def _execute_task(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOut
         seed=task.seed,
         with_mirrors=False,
     )
-    fetch = DisaggregatedSimulator(config).replay(trace)
+    # One schedule built up front serves both replays — identical events.
+    faults = (
+        FaultSchedule.from_spec(task.fault_spec)
+        if task.fault_spec is not None
+        else None
+    )
+    fetch = DisaggregatedSimulator(config).replay(trace, faults=faults)
     ndp_cfg = config if config.enable_inc else config.with_options(enable_inc=True)
-    offload = DisaggregatedNDPSimulator(ndp_cfg).replay(trace)
+    offload = DisaggregatedNDPSimulator(ndp_cfg).replay(trace, faults=faults)
     digest = hashlib.sha256(
         np.ascontiguousarray(fetch.result_property()).tobytes()
+    ).hexdigest()
+    ledger_digest = hashlib.sha256(
+        json.dumps(
+            {"fetch": fetch.ledger.breakdown(), "offload": offload.ledger.breakdown()},
+            sort_keys=True,
+        ).encode()
     ).hexdigest()
     return SweepOutcome(
         task=task,
@@ -252,6 +289,28 @@ def _execute_task(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOut
         result_sha256=digest,
         cache_hits=trace.cache_hits,
         cache_misses=trace.cache_misses,
+        fetch_recovery_bytes=fetch.total_recovery_bytes,
+        offload_recovery_bytes=offload.total_recovery_bytes,
+        ledger_sha256=ledger_digest,
+    )
+
+
+def _failed_outcome(
+    task: SweepTask, graph_name: str, error: str, attempts: int
+) -> SweepOutcome:
+    """Placeholder outcome for a task that exhausted its retries."""
+    return SweepOutcome(
+        task=task,
+        graph_name=graph_name,
+        num_iterations=0,
+        fetch_bytes=(),
+        offload_bytes=(),
+        frontier=(),
+        result_sha256="",
+        cache_hits=0,
+        cache_misses=0,
+        attempts=attempts,
+        error=error,
     )
 
 
@@ -261,8 +320,16 @@ _ATTACHED: Dict[Tuple[str, ...], Tuple[CSRGraph, List[shared_memory.SharedMemory
 
 
 def _worker_execute(
-    task: SweepTask, spec: SharedGraphSpec, graph_name: str
+    task: SweepTask,
+    spec: SharedGraphSpec,
+    graph_name: str,
+    *,
+    crash: bool = False,
 ) -> SweepOutcome:
+    if crash:
+        # Test hook: die the way a real worker does (OOM-killed, segfaulted)
+        # — no exception, no cleanup, the pool just loses the process.
+        os._exit(3)
     key = spec.segment_names
     if key not in _ATTACHED:
         _ATTACHED[key] = attach_shared_graph(spec)
@@ -289,30 +356,17 @@ def fig7_sweep_tasks(
     return tasks
 
 
-def run_sweep(
-    tasks: Sequence[SweepTask], *, jobs: int = 1
-) -> List[SweepOutcome]:
-    """Run every task and return outcomes in task order.
+@contextmanager
+def published_graphs(
+    graphs: Mapping[Tuple[str, str, int], Tuple[CSRGraph, str]],
+) -> Iterator[Dict[Tuple[str, str, int], Tuple[SharedGraphSpec, str]]]:
+    """Publish every graph to shared memory for the body's duration.
 
-    ``jobs <= 1`` runs in-process.  Otherwise each distinct ``(dataset,
-    tier, seed)`` graph is loaded once, published to shared memory, and the
-    tasks fan out over a ``ProcessPoolExecutor``; the parent unlinks the
-    segments when every future has resolved.
+    The segments are closed *and unlinked* on every exit path — normal
+    return, task failure, pool breakage, KeyboardInterrupt — so a crashed
+    sweep never leaves orphaned ``/dev/shm`` residue behind (the regression
+    test kills a worker mid-sweep and asserts exactly this).
     """
-    if not tasks:
-        return []
-    # Load each distinct graph exactly once, in task order.
-    graphs: Dict[Tuple[str, str, int], Tuple[CSRGraph, str]] = {}
-    for task in tasks:
-        if task.graph_key not in graphs:
-            graph, ds = load_dataset(task.dataset, tier=task.tier, seed=task.seed)
-            graphs[task.graph_key] = (graph, ds.name)
-
-    if jobs <= 1:
-        return [
-            _execute_task(task, *graphs[task.graph_key]) for task in tasks
-        ]
-
     specs: Dict[Tuple[str, str, int], Tuple[SharedGraphSpec, str]] = {}
     segments: List[shared_memory.SharedMemory] = []
     try:
@@ -320,20 +374,7 @@ def run_sweep(
             spec, segs = share_graph(graph)
             specs[key] = (spec, name)
             segments.extend(segs)
-        # fork keeps worker start cheap on Linux; the spec-based attach
-        # works under spawn too, so fall back silently elsewhere.
-        try:
-            ctx = get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = get_context()
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-            futures = [
-                pool.submit(_worker_execute, task, *specs[task.graph_key])
-                for task in tasks
-            ]
-            outcomes = [f.result() for f in futures]
-    except Exception as exc:
-        raise ExperimentError(f"sweep failed: {exc}") from exc
+        yield specs
     finally:
         for shm in segments:
             shm.close()
@@ -341,7 +382,185 @@ def run_sweep(
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
-    return outcomes
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's worker processes (a timed-out task never yields)."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff_s: float = 0.25,
+    keep_going: bool = False,
+    crash_plan: Optional[Mapping[str, int]] = None,
+) -> List[SweepOutcome]:
+    """Run every task and return outcomes in task order.
+
+    ``jobs <= 1`` runs in-process.  Otherwise each distinct ``(dataset,
+    tier, seed)`` graph is loaded once, published to shared memory, and the
+    tasks fan out over a ``ProcessPoolExecutor``.
+
+    Crashed workers (``BrokenProcessPool``) and per-task ``timeout``
+    expiries are retried up to ``retries`` times with exponential backoff
+    (``backoff_s * 2**attempt``); deterministic in-task exceptions are not
+    retried.  With ``keep_going`` a task that exhausts its retries becomes
+    a placeholder outcome carrying ``error`` (the rest of the sweep
+    completes); the default fail-fast mode raises ``ExperimentError``.
+
+    ``crash_plan`` maps task labels to a number of injected worker crashes
+    — the retry machinery's test hook (in serial mode an injected crash
+    raises instead, as there is no process to lose).
+    """
+    if not tasks:
+        return []
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ExperimentError(f"timeout must be positive, got {timeout}")
+    # Load each distinct graph exactly once, in task order.
+    graphs: Dict[Tuple[str, str, int], Tuple[CSRGraph, str]] = {}
+    for task in tasks:
+        if task.graph_key not in graphs:
+            graph, ds = load_dataset(task.dataset, tier=task.tier, seed=task.seed)
+            graphs[task.graph_key] = (graph, ds.name)
+
+    remaining_crashes = dict(crash_plan or {})
+
+    def take_crash(task: SweepTask) -> bool:
+        left = remaining_crashes.get(task.label, 0)
+        if left > 0:
+            remaining_crashes[task.label] = left - 1
+            return True
+        return False
+
+    if jobs <= 1:
+        outcomes: List[SweepOutcome] = []
+        for task in tasks:
+            graph, name = graphs[task.graph_key]
+            try:
+                if take_crash(task):
+                    raise ExperimentError(
+                        f"injected crash for {task.label} (serial mode)"
+                    )
+                outcomes.append(_execute_task(task, graph, name))
+            except Exception as exc:
+                if not keep_going:
+                    raise
+                outcomes.append(_failed_outcome(task, name, str(exc), 1))
+        return outcomes
+
+    # fork keeps worker start cheap on Linux; the spec-based attach works
+    # under spawn too, so fall back silently elsewhere.
+    try:
+        mp_ctx = get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        mp_ctx = get_context()
+
+    results: Dict[int, SweepOutcome] = {}
+    with published_graphs(graphs) as specs:
+        # Pending entries carry per-task attempt counts: a task is only
+        # charged an attempt when *it* crashed or timed out, not when a
+        # neighbour poisoned the shared pool before it could run.
+        pending: List[Tuple[int, SweepTask, int]] = [
+            (idx, task, 0) for idx, task in enumerate(tasks)
+        ]
+        round_no = 0
+        while pending:
+            # One fresh pool per round: a crashed or hung worker poisons
+            # every in-flight future, so the round restarts cleanly.
+            pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_ctx)
+            pool_broken = False
+            failed: List[Tuple[int, SweepTask, int, str]] = []
+            fatal: List[Tuple[int, SweepTask, int, str]] = []
+            try:
+                submitted = [
+                    (
+                        idx,
+                        task,
+                        tries,
+                        pool.submit(
+                            _worker_execute,
+                            task,
+                            *specs[task.graph_key],
+                            crash=take_crash(task),
+                        ),
+                    )
+                    for idx, task, tries in pending
+                ]
+                for idx, task, tries, future in submitted:
+                    if pool_broken:
+                        if future.done():
+                            try:  # finished before the pool died: keep it
+                                results[idx] = replace(
+                                    future.result(), attempts=tries + 1
+                                )
+                                continue
+                            except Exception:
+                                pass
+                        # Collateral damage: costs no attempt.
+                        failed.append(
+                            (idx, task, tries, "worker pool broke before this task")
+                        )
+                        continue
+                    try:
+                        outcome = future.result(timeout=timeout)
+                        results[idx] = replace(outcome, attempts=tries + 1)
+                    except FutureTimeout:
+                        failed.append(
+                            (idx, task, tries + 1, f"timed out after {timeout:g}s")
+                        )
+                        _terminate_workers(pool)
+                        pool_broken = True
+                    except BrokenProcessPool as exc:
+                        failed.append(
+                            (idx, task, tries + 1, f"worker crashed: {exc}")
+                        )
+                        pool_broken = True
+                    except Exception as exc:  # deterministic task failure
+                        fatal.append(
+                            (idx, task, tries, f"{type(exc).__name__}: {exc}")
+                        )
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+            for idx, task, tries, error in fatal:
+                if not keep_going:
+                    raise ExperimentError(
+                        f"sweep task {task.label} failed: {error}"
+                    )
+                results[idx] = _failed_outcome(
+                    task, specs[task.graph_key][1], error, tries + 1
+                )
+            still_pending: List[Tuple[int, SweepTask, int]] = []
+            for idx, task, tries, error in failed:
+                if tries <= retries:
+                    still_pending.append((idx, task, tries))
+                    continue
+                if not keep_going:
+                    raise ExperimentError(
+                        f"sweep task {task.label} failed after {tries} "
+                        f"attempts: {error}"
+                    )
+                results[idx] = _failed_outcome(
+                    task,
+                    specs[task.graph_key][1],
+                    f"{error} (after {tries} attempts)",
+                    tries,
+                )
+            pending = still_pending
+            if pending:
+                time.sleep(backoff_s * (2**round_no))
+                round_no += 1
+    return [results[idx] for idx in range(len(tasks))]
 
 
 def run(
@@ -350,10 +569,15 @@ def run(
     seed: int = DEFAULT_SEED,
     jobs: int = 1,
     tasks: Optional[Sequence[SweepTask]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    keep_going: bool = False,
 ) -> ExperimentResult:
     """Sweep experiment entry point (``repro-experiments sweep``)."""
     chosen = list(tasks) if tasks is not None else fig7_sweep_tasks(tier=tier, seed=seed)
-    outcomes = run_sweep(chosen, jobs=jobs)
+    outcomes = run_sweep(
+        chosen, jobs=jobs, timeout=timeout, retries=retries, keep_going=keep_going
+    )
     table = TextTable(
         [
             "workload",
@@ -367,6 +591,16 @@ def run(
     )
     data: Dict[str, Dict[str, object]] = {}
     for out in outcomes:
+        if not out.ok:
+            table.add_row(out.task.label, "FAILED", "-", "-", "-", out.error)
+            data[out.task.label] = {
+                "dataset": out.graph_name,
+                "kernel": out.task.kernel,
+                "partitions": out.task.partitions,
+                "error": out.error,
+                "attempts": out.attempts,
+            }
+            continue
         table.add_row(
             out.task.label,
             out.num_iterations,
@@ -384,6 +618,9 @@ def run(
             "frontier": list(out.frontier),
             "result_sha256": out.result_sha256,
         }
+        if out.fetch_recovery_bytes or out.offload_recovery_bytes:
+            data[out.task.label]["fetch_recovery_bytes"] = out.fetch_recovery_bytes
+            data[out.task.label]["offload_recovery_bytes"] = out.offload_recovery_bytes
     result = ExperimentResult(
         experiment_id="sweep",
         title="Parallel Fig. 7-style sweep (shared-memory CSR)",

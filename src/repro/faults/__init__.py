@@ -1,0 +1,42 @@
+"""Deterministic fault injection and recovery accounting.
+
+The paper motivates disaggregated NDP with *resource independence*: memory
+nodes, compute hosts, and the fabric fail and scale separately.  This
+package models those failures for all four architecture simulators —
+seed-driven schedules of memory-node crashes, NDP-device failures, link
+degradation, and transient message drops, injected at iteration boundaries
+— and accounts the modeled recovery (shard re-replication or rebuild,
+checkpointing, retransmission) in the movement ledger like any other phase.
+Faults never perturb the kernel numerics; they change what the accounting
+sees, exactly like the paper's run-once/account-per-deployment methodology.
+
+See ``docs/fault-model.md`` for the taxonomy and the cost formulas.
+"""
+
+from repro.faults.checkpoint import (
+    AdaptiveCheckpoint,
+    CheckpointPolicy,
+    EveryKCheckpoint,
+    NoCheckpoint,
+    get_checkpoint_policy,
+    list_checkpoint_policies,
+)
+from repro.faults.events import FaultEvent, FaultKind
+from repro.faults.recovery import FaultRuntime, FaultsLike, as_schedule
+from repro.faults.schedule import FaultSchedule, FaultSpec
+
+__all__ = [
+    "AdaptiveCheckpoint",
+    "CheckpointPolicy",
+    "EveryKCheckpoint",
+    "FaultEvent",
+    "FaultKind",
+    "FaultRuntime",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultsLike",
+    "NoCheckpoint",
+    "as_schedule",
+    "get_checkpoint_policy",
+    "list_checkpoint_policies",
+]

@@ -1,0 +1,105 @@
+"""Fault event taxonomy (see ``docs/fault-model.md``).
+
+The paper's case for disaggregation rests on *failure independence*:
+memory nodes, compute hosts, and the fabric fail (and scale) separately.
+A :class:`FaultEvent` is one such failure materializing at an iteration
+boundary of a simulated run.  Events never perturb the kernel numerics —
+exactly like the paper's methodology of running the real computation once
+and separately accounting each deployment, faults only change what the
+*accounting* sees: recovery traffic in the movement ledger, degraded link
+parameters in the timing model, and offload decisions forced back to the
+host-fetch path while an NDP device is down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+
+class FaultKind(enum.Enum):
+    """What failed.  The recovery model keys its cost formulas on this."""
+
+    #: A memory-pool node (or, in coupled clusters, a whole server) is lost
+    #: with its graph shard; the shard is restored from surviving replicas
+    #: or rebuilt from source storage.
+    MEMORY_NODE_CRASH = "memory-node-crash"
+    #: The NDP device on one memory node fails while the node's DRAM stays
+    #: reachable; traversal for that shard falls back to host fetch until
+    #: the device is repaired.
+    NDP_DEVICE_FAILURE = "ndp-device-failure"
+    #: The fabric degrades: bandwidth cut and/or latency spike on the
+    #: shared links for ``down_iterations`` iterations, then full health.
+    LINK_DEGRADATION = "link-degradation"
+    #: A transient loss of in-flight messages; the affected fraction of the
+    #: iteration's network traffic is retransmitted.
+    MESSAGE_DROP = "message-drop"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault firing at the boundary *before* iteration ``iteration``.
+
+    Only the fields relevant to ``kind`` are read; the rest keep their
+    neutral defaults so events stay one flat, hashable record (they ride
+    inside frozen schedules that cross process boundaries in sweeps).
+    """
+
+    iteration: int
+    kind: FaultKind
+    #: affected memory node / partition (crash + NDP failure); -1 = n/a
+    part: int = -1
+    #: iterations until a failed NDP device is repaired
+    down_iterations: int = 1
+    #: link degradation: multiplier on bandwidth, in (0, 1]
+    bandwidth_scale: float = 1.0
+    #: link degradation: added per-message latency (seconds)
+    extra_latency_s: float = 0.0
+    #: message drop: fraction of the iteration's network bytes lost
+    drop_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise FaultError(f"iteration must be >= 0, got {self.iteration}")
+        if self.kind in (FaultKind.MEMORY_NODE_CRASH, FaultKind.NDP_DEVICE_FAILURE):
+            if self.part < 0:
+                raise FaultError(f"{self.kind.value} needs a target part")
+        if self.kind is FaultKind.NDP_DEVICE_FAILURE and self.down_iterations < 1:
+            raise FaultError(
+                f"down_iterations must be >= 1, got {self.down_iterations}"
+            )
+        if self.kind is FaultKind.LINK_DEGRADATION:
+            if not 0.0 < self.bandwidth_scale <= 1.0:
+                raise FaultError(
+                    f"bandwidth_scale must be in (0, 1], got {self.bandwidth_scale}"
+                )
+            if self.extra_latency_s < 0:
+                raise FaultError(
+                    f"extra_latency_s must be >= 0, got {self.extra_latency_s}"
+                )
+        if self.kind is FaultKind.MESSAGE_DROP and not 0.0 <= self.drop_fraction <= 1.0:
+            raise FaultError(
+                f"drop_fraction must be in [0, 1], got {self.drop_fraction}"
+            )
+
+    def describe(self) -> str:
+        """One-line human description (CLI tables, logs)."""
+        if self.kind is FaultKind.MEMORY_NODE_CRASH:
+            return f"iter {self.iteration}: memory node {self.part} crashes"
+        if self.kind is FaultKind.NDP_DEVICE_FAILURE:
+            return (
+                f"iter {self.iteration}: NDP device on node {self.part} fails "
+                f"for {self.down_iterations} iteration(s)"
+            )
+        if self.kind is FaultKind.LINK_DEGRADATION:
+            return (
+                f"iter {self.iteration}: links degrade to "
+                f"{self.bandwidth_scale:.0%} bandwidth, "
+                f"+{self.extra_latency_s * 1e6:.1f} us latency"
+            )
+        return (
+            f"iter {self.iteration}: {self.drop_fraction:.1%} of messages "
+            "dropped (retransmitted)"
+        )

@@ -44,6 +44,32 @@ class Link:
             return 0.0
         return self.latency_s * max(messages, 1) + nbytes / self.bandwidth_bps
 
+    def degraded(
+        self, bandwidth_scale: float = 1.0, extra_latency_s: float = 0.0
+    ) -> "Link":
+        """A degraded copy of this link: bandwidth cut and/or latency spike.
+
+        ``bandwidth_scale`` multiplies the bandwidth (``(0, 1]`` — a
+        degradation never speeds a link up) and ``extra_latency_s`` adds to
+        the per-message latency.  Replaces the ad-hoc ``Link(...)``
+        reconstruction fault models used to do by hand; ``transfer_seconds``
+        is monotone non-decreasing under both knobs (property-tested).
+        """
+        if not 0.0 < bandwidth_scale <= 1.0:
+            raise ConfigError(
+                f"bandwidth_scale must be in (0, 1], got {bandwidth_scale}"
+            )
+        if extra_latency_s < 0:
+            raise ConfigError(
+                f"extra_latency_s must be >= 0, got {extra_latency_s}"
+            )
+        if bandwidth_scale == 1.0 and extra_latency_s == 0.0:
+            return self
+        return Link(
+            bandwidth_bps=self.bandwidth_bps * bandwidth_scale,
+            latency_s=self.latency_s + extra_latency_s,
+        )
+
 
 #: 100 GbE-class defaults used across the experiments.
 DEFAULT_HOST_LINK = Link(bandwidth_bps=12.5e9, latency_s=2e-6)

@@ -9,7 +9,7 @@ for phase-level transfers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -39,6 +39,34 @@ class ClusterTopology:
     def num_nodes(self) -> int:
         """All endpoints (excluding the switch)."""
         return self.num_compute + self.num_memory
+
+    def with_degraded_links(
+        self,
+        *,
+        bandwidth_scale: float = 1.0,
+        extra_latency_s: float = 0.0,
+        host: bool = True,
+        memory: bool = True,
+    ) -> "ClusterTopology":
+        """A copy of this topology with degraded link parameters.
+
+        Fault models swap the topology rather than mutating links in place
+        (links are frozen); ``host``/``memory`` select which link classes
+        the degradation hits.
+        """
+        return replace(
+            self,
+            host_link=(
+                self.host_link.degraded(bandwidth_scale, extra_latency_s)
+                if host
+                else self.host_link
+            ),
+            memory_link=(
+                self.memory_link.degraded(bandwidth_scale, extra_latency_s)
+                if memory
+                else self.memory_link
+            ),
+        )
 
     def memory_fanin_seconds(self, bytes_per_node: np.ndarray, messages_per_node: np.ndarray) -> float:
         """Time for every memory node to push its bytes to the switch.

@@ -39,6 +39,10 @@ class IterationOutlook:
     num_parts: int
     edges_per_part: Optional[np.ndarray] = None
     frontier_per_part: Optional[np.ndarray] = None
+    #: ``bool[num_parts]`` — memory nodes whose NDP device is currently out
+    #: of service (fault injection); ``None`` when no faults are active.
+    #: Policies may ignore it: the simulator enforces the fallback anyway.
+    failed_parts: Optional[np.ndarray] = None
     # -- oracle-only fields --------------------------------------------- #
     exact_partial_pairs: Optional[int] = None
     exact_distinct_destinations: Optional[int] = None

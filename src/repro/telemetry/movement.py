@@ -17,6 +17,13 @@ from repro.net.link import LinkClass
 #: Link classes whose bytes count as "data movement" in the paper's figures.
 NETWORK_CLASSES = (LinkClass.HOST_LINK, LinkClass.MEMORY_LINK)
 
+#: Phase-name prefix under which all modeled recovery traffic is recorded
+#: (re-replication, rebuild, retransmission) — see ``docs/fault-model.md``.
+RECOVERY_PHASE_PREFIX = "recovery-"
+#: Checkpoint traffic gets its own phase; it is recovery *preparation*, so
+#: :meth:`MovementLedger.recovery_bytes` counts it too.
+CHECKPOINT_PHASE = "checkpoint"
+
 
 @dataclass
 class MovementLedger:
@@ -74,6 +81,18 @@ class MovementLedger:
     def host_link_bytes(self) -> int:
         """Bytes on compute-node links (the usual bottleneck)."""
         return self.bytes_for(link=LinkClass.HOST_LINK)
+
+    def recovery_bytes(self) -> int:
+        """Bytes moved by fault recovery and checkpointing.
+
+        Counts every ``recovery-*`` phase plus ``checkpoint`` — zero for a
+        fault-free run with no checkpoint policy (a tested invariant).
+        """
+        return sum(
+            v
+            for (p, _), v in self._bytes.items()
+            if p.startswith(RECOVERY_PHASE_PREFIX) or p == CHECKPOINT_PHASE
+        )
 
     def phases(self) -> Tuple[str, ...]:
         """Phases seen so far, sorted."""

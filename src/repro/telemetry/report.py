@@ -22,6 +22,30 @@ def movement_table(ledger: MovementLedger, title: str = "Data movement") -> Text
     return table
 
 
+def fault_table(
+    ledger: MovementLedger,
+    counters: Mapping[str, float],
+    title: str = "Faults and recovery",
+) -> TextTable:
+    """Render a run's fault/recovery counters plus recovery movement.
+
+    ``counters`` is a :class:`~repro.telemetry.counters.CounterSet` (or any
+    mapping) holding the ``fault-*`` / ``recovery-*`` / ``checkpoint-*``
+    counters the simulators emit while a fault schedule is active.
+    """
+    table = TextTable(["counter", "value"], title=title)
+    names = sorted(
+        n
+        for n in counters
+        if n.startswith(("fault-", "recovery-", "checkpoint-", "offload-denied"))
+    )
+    for name in names:
+        table.add_row(name, f"{counters[name]:g}")
+    rec = ledger.recovery_bytes()
+    table.add_row("recovery bytes (ledger)", f"{rec} ({format_bytes(rec)})")
+    return table
+
+
 def to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
     """Serialize a homogeneous row list to CSV text."""
     if not rows:

@@ -52,3 +52,21 @@ class TestExperimentContract:
         assert result.experiment_id == name
         assert result.render().startswith(f"== {name}")
         assert result.data
+
+    def test_faults_experiment_registered_and_runs(self):
+        assert "faults" in ALL_EXPERIMENTS
+        result = ALL_EXPERIMENTS["faults"](tier="tiny", seed=7)
+        assert result.experiment_id == "faults"
+        arches = result.data["architectures"]
+        assert set(arches) == {
+            "distributed",
+            "distributed-ndp",
+            "disaggregated",
+            "disaggregated-ndp",
+        }
+        for name, row in arches.items():
+            assert row["recovery_bytes"] > 0, name
+            assert row["degraded_bytes"] >= row["fault_free_bytes"], name
+        # Deterministic: the same seed reproduces the same accounting.
+        again = ALL_EXPERIMENTS["faults"](tier="tiny", seed=7)
+        assert again.data == result.data

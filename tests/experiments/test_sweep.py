@@ -1,10 +1,16 @@
-"""Sweep runner: shared-memory CSR publication and serial/parallel parity."""
+"""Sweep runner: shared-memory CSR publication, serial/parallel parity,
+and the fault tolerance of the runner itself (crashed workers, retries,
+keep-going, no orphaned shared-memory segments)."""
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.errors import ExperimentError
 from repro.experiments.runner import build_parser
 from repro.experiments.sweep import (
     SweepTask,
@@ -13,6 +19,7 @@ from repro.experiments.sweep import (
     run_sweep,
     share_graph,
 )
+from repro.faults import FaultSpec
 
 TASKS = [
     SweepTask("livejournal-sim", "pagerank", 8, "tiny", 7, max_iterations=5),
@@ -20,6 +27,19 @@ TASKS = [
     SweepTask("livejournal-sim", "cc", 8, "tiny", 7, max_iterations=10),
     SweepTask("wikitalk-sim", "sssp", 4, "tiny", 7, max_iterations=10),
 ]
+
+SMALL_TASKS = [
+    SweepTask("wikitalk-sim", "pagerank", 4, "tiny", 7, max_iterations=4),
+    SweepTask("wikitalk-sim", "bfs", 4, "tiny", 7, max_iterations=6),
+]
+
+
+def _shm_segments() -> set:
+    """Names of this sweep module's segments currently in /dev/shm."""
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in root.glob("rsw-*")}
 
 
 class TestSharedGraph:
@@ -92,6 +112,115 @@ class TestRunSweep:
         assert "sssp/livejournal-sim/p32" in labels
         assert "pagerank/uk2005-sim/p80" in labels
         assert len(tasks) >= 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ExperimentError):
+            run_sweep(SMALL_TASKS, retries=-1)
+        with pytest.raises(ExperimentError):
+            run_sweep(SMALL_TASKS, jobs=2, timeout=0)
+
+
+class TestSweepFaultTolerance:
+    """The hardened runner: crashes, retries, keep-going, shm hygiene."""
+
+    def test_worker_crash_is_retried(self):
+        crash_once = {SMALL_TASKS[0].label: 1}
+        outcomes = run_sweep(
+            SMALL_TASKS, jobs=2, retries=2, backoff_s=0.01,
+            crash_plan=crash_once,
+        )
+        assert all(o.ok for o in outcomes)
+        assert outcomes[0].attempts >= 2
+        # The retried outcome matches an undisturbed serial run bit-for-bit.
+        serial = run_sweep(SMALL_TASKS, jobs=1)
+        assert outcomes[0].result_sha256 == serial[0].result_sha256
+        assert outcomes[0].ledger_sha256 == serial[0].ledger_sha256
+
+    def test_exhausted_retries_fail_fast(self):
+        always_crash = {t.label: 99 for t in SMALL_TASKS}
+        with pytest.raises(ExperimentError, match="failed after"):
+            run_sweep(
+                SMALL_TASKS, jobs=2, retries=1, backoff_s=0.01,
+                crash_plan=always_crash,
+            )
+
+    def test_exhausted_retries_keep_going(self):
+        crash_forever = {SMALL_TASKS[0].label: 99}
+        outcomes = run_sweep(
+            SMALL_TASKS, jobs=2, retries=1, backoff_s=0.01,
+            keep_going=True, crash_plan=crash_forever,
+        )
+        assert len(outcomes) == len(SMALL_TASKS)
+        assert not outcomes[0].ok
+        assert outcomes[0].error is not None
+        assert outcomes[0].fetch_bytes == ()
+        # Every other task still completed normally.
+        assert all(o.ok for o in outcomes[1:])
+
+    def test_serial_keep_going_records_failures(self):
+        outcomes = run_sweep(
+            SMALL_TASKS, jobs=1, keep_going=True,
+            crash_plan={SMALL_TASKS[1].label: 1},
+        )
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert "injected crash" in outcomes[1].error
+
+    def test_serial_fail_fast_raises(self):
+        with pytest.raises(ExperimentError, match="injected crash"):
+            run_sweep(SMALL_TASKS, jobs=1, crash_plan={SMALL_TASKS[0].label: 1})
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="needs POSIX /dev/shm"
+    )
+    def test_no_shm_residue_after_failing_sweep(self):
+        """Regression: a sweep that dies must unlink every segment."""
+        before = _shm_segments()
+        with pytest.raises(ExperimentError):
+            run_sweep(
+                SMALL_TASKS, jobs=2, retries=0, backoff_s=0.01,
+                crash_plan={t.label: 99 for t in SMALL_TASKS},
+            )
+        assert _shm_segments() == before
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="needs POSIX /dev/shm"
+    )
+    def test_no_shm_residue_after_clean_sweep(self):
+        before = _shm_segments()
+        run_sweep(SMALL_TASKS, jobs=2)
+        assert _shm_segments() == before
+
+
+class TestSweepFaultInjection:
+    """Fault specs ride inside tasks; ledgers stay deterministic."""
+
+    FAULTY_TASKS = [
+        SweepTask(
+            "wikitalk-sim", "pagerank", 4, "tiny", 7, max_iterations=6,
+            fault_spec=FaultSpec(
+                seed=21, horizon=6, num_parts=4, memory_crash_prob=0.3,
+                message_drop_prob=0.3, replication_factor=2,
+            ),
+        ),
+        SweepTask("wikitalk-sim", "bfs", 4, "tiny", 7, max_iterations=6),
+    ]
+
+    def test_fault_spec_produces_recovery_bytes(self):
+        outcomes = run_sweep(self.FAULTY_TASKS, jobs=1)
+        assert outcomes[0].fetch_recovery_bytes > 0
+        assert outcomes[0].offload_recovery_bytes > 0
+        assert outcomes[1].fetch_recovery_bytes == 0
+
+    def test_faulty_ledgers_identical_across_job_counts(self):
+        """Same FaultSpec seed => bit-identical ledgers, serial or fanned out."""
+        serial = run_sweep(self.FAULTY_TASKS, jobs=1)
+        parallel = run_sweep(self.FAULTY_TASKS, jobs=2)
+        assert serial == parallel
+        again = run_sweep(self.FAULTY_TASKS, jobs=2)
+        assert [o.ledger_sha256 for o in parallel] == [
+            o.ledger_sha256 for o in again
+        ]
 
 
 class TestSweepCLI:

@@ -36,6 +36,37 @@ class TestLink:
             Link(bandwidth_bps=1e9).transfer_seconds(-1)
 
 
+class TestLinkDegraded:
+    def test_identity_degradation_returns_self(self):
+        link = Link(bandwidth_bps=1e9, latency_s=1e-6)
+        assert link.degraded() is link
+        assert link.degraded(bandwidth_scale=1.0, extra_latency_s=0.0) is link
+
+    def test_bandwidth_cut_and_latency_spike(self):
+        link = Link(bandwidth_bps=1e9, latency_s=1e-6)
+        slow = link.degraded(bandwidth_scale=0.25, extra_latency_s=9e-6)
+        assert slow.bandwidth_bps == pytest.approx(0.25e9)
+        assert slow.latency_s == pytest.approx(10e-6)
+        # The original frozen link is untouched.
+        assert link.bandwidth_bps == 1e9
+
+    def test_degraded_transfer_is_slower(self):
+        link = Link(bandwidth_bps=1e9, latency_s=1e-6)
+        slow = link.degraded(bandwidth_scale=0.5)
+        assert slow.transfer_seconds(1e6, 4) > link.transfer_seconds(1e6, 4)
+
+    def test_validation(self):
+        link = Link(bandwidth_bps=1e9)
+        with pytest.raises(ConfigError):
+            link.degraded(bandwidth_scale=0.0)
+        with pytest.raises(ConfigError):
+            link.degraded(bandwidth_scale=1.5)  # a "degradation" cannot speed up
+        with pytest.raises(ConfigError):
+            link.degraded(bandwidth_scale=-0.5)
+        with pytest.raises(ConfigError):
+            link.degraded(extra_latency_s=-1e-6)
+
+
 class TestTransfer:
     def test_construction(self):
         t = Transfer(0, "apply", LinkClass.HOST_LINK, 100, 2)

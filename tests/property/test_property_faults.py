@@ -1,0 +1,89 @@
+"""Property-based tests for the fault model.
+
+Two invariants matter enough to fuzz:
+
+* ``Link.transfer_seconds`` is monotone non-decreasing under degradation —
+  cutting bandwidth or adding latency can never make a transfer faster, for
+  any transfer size, message count, or degradation pair.  The recovery and
+  timing models rely on this (a fault must never *improve* an architecture's
+  reported numbers).
+* ``FaultSchedule.from_spec`` is a pure function of its spec — the same
+  seed always yields the same events, which is what makes fault-injected
+  sweeps replayable across job counts.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultSchedule, FaultSpec
+from repro.net.link import Link
+
+links = st.builds(
+    Link,
+    bandwidth_bps=st.floats(min_value=1e3, max_value=1e12),
+    latency_s=st.floats(min_value=0.0, max_value=1e-3),
+)
+
+degradations = st.tuples(
+    st.floats(min_value=1e-6, max_value=1.0),  # bandwidth_scale
+    st.floats(min_value=0.0, max_value=1e-3),  # extra_latency_s
+)
+
+transfers = st.tuples(
+    st.floats(min_value=0.0, max_value=1e12),  # nbytes
+    st.integers(min_value=0, max_value=1_000),  # messages
+)
+
+
+@given(links, degradations, transfers)
+@settings(max_examples=200, deadline=None)
+def test_transfer_seconds_monotone_under_degradation(link, degradation, transfer):
+    scale, extra = degradation
+    nbytes, messages = transfer
+    degraded = link.degraded(bandwidth_scale=scale, extra_latency_s=extra)
+    assert degraded.transfer_seconds(nbytes, messages) >= link.transfer_seconds(
+        nbytes, messages
+    )
+
+
+@given(links, degradations, degradations, transfers)
+@settings(max_examples=200, deadline=None)
+def test_deeper_degradation_is_never_faster(link, first, second, transfer):
+    """Compounding a degradation on an already-degraded link only adds time."""
+    nbytes, messages = transfer
+    once = link.degraded(bandwidth_scale=first[0], extra_latency_s=first[1])
+    twice = once.degraded(bandwidth_scale=second[0], extra_latency_s=second[1])
+    assert twice.transfer_seconds(nbytes, messages) >= once.transfer_seconds(
+        nbytes, messages
+    )
+
+
+@given(links, st.floats(min_value=1e-6, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_degraded_link_stays_valid(link, scale):
+    degraded = link.degraded(bandwidth_scale=scale)
+    assert degraded.bandwidth_bps > 0
+    assert degraded.latency_s >= link.latency_s
+
+
+fault_specs = st.builds(
+    FaultSpec,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    horizon=st.integers(min_value=0, max_value=20),
+    num_parts=st.integers(min_value=1, max_value=16),
+    memory_crash_prob=st.floats(min_value=0.0, max_value=0.5),
+    ndp_failure_prob=st.floats(min_value=0.0, max_value=0.5),
+    link_degradation_prob=st.floats(min_value=0.0, max_value=0.5),
+    message_drop_prob=st.floats(min_value=0.0, max_value=0.5),
+)
+
+
+@given(fault_specs)
+@settings(max_examples=60, deadline=None)
+def test_schedule_generation_is_deterministic(spec):
+    first = FaultSchedule.from_spec(spec)
+    second = FaultSchedule.from_spec(spec)
+    assert first.events == second.events
+    assert all(e.iteration < spec.horizon for e in first.events)
+    assert all(
+        e.part < spec.num_parts for e in first.events if e.part >= 0
+    )

@@ -1,0 +1,54 @@
+"""The exception hierarchy, and the structured context on SimulationError."""
+
+import pytest
+
+from repro.errors import (
+    FaultError,
+    RecoveryError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    def test_fault_errors_are_repro_errors(self):
+        assert issubclass(FaultError, ReproError)
+        assert issubclass(RecoveryError, FaultError)
+
+    def test_recovery_error_caught_as_fault_error(self):
+        with pytest.raises(FaultError):
+            raise RecoveryError("no survivors to re-replicate onto")
+
+
+class TestSimulationErrorContext:
+    def test_plain_message_has_no_suffix(self):
+        err = SimulationError("profile drift")
+        assert err.context == {}
+        assert str(err) == "profile drift"
+
+    def test_iteration_and_architecture_land_in_context(self):
+        err = SimulationError(
+            "profile drift", iteration=3, architecture="disaggregated-ndp"
+        )
+        assert err.context == {
+            "iteration": 3,
+            "architecture": "disaggregated-ndp",
+        }
+        rendered = str(err)
+        assert rendered.startswith("profile drift [")
+        assert "iteration=3" in rendered
+        assert "architecture='disaggregated-ndp'" in rendered
+
+    def test_extra_kwargs_ride_along(self):
+        err = SimulationError("bad mask", iteration=1, part=2, expected=4)
+        assert err.context["part"] == 2
+        assert err.context["expected"] == 4
+        assert "part=2" in str(err)
+
+    def test_context_keys_render_sorted(self):
+        err = SimulationError("boom", zulu=1, alpha=2)
+        assert str(err) == "boom [alpha=2, zulu=1]"
+
+    def test_is_catchable_without_context(self):
+        with pytest.raises(ReproError):
+            raise SimulationError("boom", iteration=0)

@@ -24,8 +24,19 @@ class TestPublicSurface:
             repro.ConfigError,
             repro.SimulationError,
             repro.ExperimentError,
+            repro.FaultError,
+            repro.RecoveryError,
         ):
             assert issubclass(err, repro.ReproError)
+
+    def test_fault_surface_exported(self):
+        schedule = repro.FaultSchedule.single_crash(iteration=1, part=0)
+        assert len(schedule) == 1
+        assert isinstance(
+            repro.EveryKCheckpoint(k=3), repro.CheckpointPolicy
+        )
+        spec = repro.FaultSpec(seed=5, horizon=4, memory_crash_prob=0.5)
+        assert repro.FaultSchedule.from_spec(spec) == repro.FaultSchedule.from_spec(spec)
 
     def test_quickstart_flow(self):
         graph, spec = repro.load_dataset("livejournal-sim", tier="tiny", seed=7)
