@@ -24,6 +24,25 @@ def bench_out_dir() -> Path:
     return OUT_DIR
 
 
+@pytest.fixture(scope="session", autouse=True)
+def bench_artifact_cache():
+    """Share one artifact cache across the whole benchmark session.
+
+    Every benchmark loading the same (dataset, tier, seed) graph hits the
+    cache after the first generation, so the suite spends its time in the
+    simulators rather than in dataset setup.  Runs honour an existing
+    ``REPRO_CACHE_DIR``; otherwise the cache lives under ``benchmarks/out``.
+    """
+    from repro import cache as repro_cache
+
+    active = repro_cache.get_cache()
+    if active is None:
+        cache_dir = OUT_DIR / "cache"
+        OUT_DIR.mkdir(exist_ok=True)
+        active = repro_cache.configure(cache_dir)
+    yield active
+
+
 @pytest.fixture(scope="session")
 def archive(bench_out_dir):
     """Write one experiment's rendered report to benchmarks/out/."""

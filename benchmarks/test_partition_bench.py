@@ -1,0 +1,222 @@
+"""Partitioning-pipeline benchmarks (BENCH_partition.json).
+
+Times the vectorized streaming partitioners against their scalar reference
+implementations (which are kept, verbatim, in
+``repro.partition.reference``), plus the artifact cache on the full sweep
+setup path (dataset generation -> partition -> mirror table).  The
+execute-once benchmarks emit machine-readable numbers to
+``benchmarks/out/BENCH_partition.json`` and assert the PR's acceptance
+bars: >= 3x on both partitioners at the largest scale, >= 5x on warm-cache
+setup.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro import cache as repro_cache
+from repro.cache.store import ArtifactCache
+from repro.graph.datasets import load_dataset
+from repro.partition.bfs_grow import BFSGrowPartitioner
+from repro.partition.mirrors import build_mirror_table
+from repro.partition.reference import bfs_grow_reference, ldg_reference
+from repro.partition.streaming import LDGStreamingPartitioner
+
+#: (label, tier) pairs; the last entry is the acceptance scale.
+SCALES = [("small", "small"), ("medium", "medium")]
+DATASET = "livejournal-sim"
+NUM_PARTS = 16
+SEED = 7
+
+
+def _min_of(fn, rounds=3):
+    """Best-of-N wall time: robust against scheduler noise on shared CI."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _write_bench(bench_out_dir, section, payload):
+    path = bench_out_dir / "BENCH_partition.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _graph(tier):
+    graph, _ = load_dataset(DATASET, tier=tier, seed=SEED)
+    return graph
+
+
+def test_ldg_vectorized_vs_reference(bench_out_dir):
+    """Vectorized LDG: bit-identical to the reference and >= 3x at scale."""
+    payload = {}
+    for label, tier in SCALES:
+        graph = _graph(tier)
+        partitioner = LDGStreamingPartitioner()
+        ref_seconds, ref = _min_of(
+            lambda: ldg_reference(graph, NUM_PARTS, seed=SEED)
+        )
+        vec_seconds, vec = _min_of(
+            lambda: partitioner.partition(graph, NUM_PARTS, seed=SEED)
+        )
+        np.testing.assert_array_equal(vec.parts, ref.parts)
+        payload[label] = {
+            "dataset": f"{DATASET}/{tier}",
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "partitions": NUM_PARTS,
+            "reference_seconds": ref_seconds,
+            "vectorized_seconds": vec_seconds,
+            "speedup": ref_seconds / vec_seconds,
+            "bit_identical": True,
+        }
+    _write_bench(bench_out_dir, "ldg", payload)
+    largest = payload[SCALES[-1][0]]
+    assert largest["speedup"] >= 3.0, (
+        f"LDG speedup {largest['speedup']:.2f}x below the 3x bar at "
+        f"{largest['dataset']}"
+    )
+
+
+def test_bfs_grow_vectorized_vs_reference(bench_out_dir):
+    """Frontier-batched BFS-grow: bit-identical and >= 3x at scale."""
+    payload = {}
+    for label, tier in SCALES:
+        graph = _graph(tier)
+        partitioner = BFSGrowPartitioner()
+        ref_seconds, ref = _min_of(
+            lambda: bfs_grow_reference(graph, NUM_PARTS, seed=SEED)
+        )
+        vec_seconds, vec = _min_of(
+            lambda: partitioner.partition(graph, NUM_PARTS, seed=SEED)
+        )
+        np.testing.assert_array_equal(vec.parts, ref.parts)
+        payload[label] = {
+            "dataset": f"{DATASET}/{tier}",
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "partitions": NUM_PARTS,
+            "reference_seconds": ref_seconds,
+            "vectorized_seconds": vec_seconds,
+            "speedup": ref_seconds / vec_seconds,
+            "bit_identical": True,
+        }
+    _write_bench(bench_out_dir, "bfs_grow", payload)
+    largest = payload[SCALES[-1][0]]
+    assert largest["speedup"] >= 3.0, (
+        f"BFS-grow speedup {largest['speedup']:.2f}x below the 3x bar at "
+        f"{largest['dataset']}"
+    )
+
+
+def test_mirror_build(bench_out_dir):
+    """Mirror-table construction timing at both scales (tracking only)."""
+    payload = {}
+    for label, tier in SCALES:
+        graph = _graph(tier)
+        assignment = LDGStreamingPartitioner().partition(
+            graph, NUM_PARTS, seed=SEED
+        )
+        seconds, table = _min_of(
+            lambda: build_mirror_table(graph, assignment)
+        )
+        payload[label] = {
+            "dataset": f"{DATASET}/{tier}",
+            "partitions": NUM_PARTS,
+            "num_mirrors": int(table.num_mirrors),
+            "seconds": seconds,
+        }
+    _write_bench(bench_out_dir, "mirror_build", payload)
+    assert payload[SCALES[-1][0]]["num_mirrors"] > 0
+
+
+def test_dataset_generation_cold_vs_warm(tmp_path, bench_out_dir):
+    """Cached dataset loads must be >= 5x faster than regeneration."""
+    cache = ArtifactCache(tmp_path / "dscache")
+    payload = {}
+    for label, tier in SCALES:
+        cold_seconds, graph = _min_of(
+            lambda: load_dataset(DATASET, tier=tier, seed=SEED)[0],
+            rounds=2,
+        )
+        repro_cache.load_dataset_cached(
+            DATASET, tier=tier, seed=SEED, cache=cache
+        )
+        warm_seconds, warm = _min_of(
+            lambda: repro_cache.load_dataset_cached(
+                DATASET, tier=tier, seed=SEED, cache=cache
+            )[0],
+            rounds=3,
+        )
+        np.testing.assert_array_equal(warm.indices, graph.indices)
+        payload[label] = {
+            "dataset": f"{DATASET}/{tier}",
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds,
+        }
+    _write_bench(bench_out_dir, "dataset_generation", payload)
+    largest = payload[SCALES[-1][0]]
+    assert largest["speedup"] >= 5.0, (
+        f"warm dataset load {largest['speedup']:.2f}x below the 5x bar"
+    )
+
+
+def test_sweep_setup_cold_vs_warm(tmp_path, bench_out_dir):
+    """The full setup path (graph + partition + mirrors) through the cache.
+
+    This is the sweep's per-graph setup cost; the acceptance bar is a
+    >= 5x warm/cold ratio at the largest scale.
+    """
+    tier = SCALES[-1][1]
+    cache = ArtifactCache(tmp_path / "setupcache")
+
+    def setup(active_cache):
+        graph, _ = repro_cache.load_dataset_cached(
+            DATASET, tier=tier, seed=SEED, cache=active_cache
+        )
+        partitioner = repro_cache.CachedPartitioner(
+            LDGStreamingPartitioner(), cache=active_cache
+        )
+        assignment = partitioner.partition(graph, NUM_PARTS, seed=SEED)
+        table = repro_cache.build_mirror_table_cached(
+            graph, assignment, cache=active_cache
+        )
+        return graph, assignment, table
+
+    cold_start = time.perf_counter()
+    cold = setup(cache)
+    cold_seconds = time.perf_counter() - cold_start
+
+    warm_seconds, warm = _min_of(lambda: setup(cache), rounds=3)
+
+    np.testing.assert_array_equal(warm[1].parts, cold[1].parts)
+    np.testing.assert_array_equal(
+        warm[2].mirror_vertices, cold[2].mirror_vertices
+    )
+    assert cache.counters["cache.dataset.hits"] >= 3
+    assert cache.counters["cache.partition.hits"] >= 3
+    assert cache.counters["cache.mirrors.hits"] >= 3
+
+    speedup = cold_seconds / warm_seconds
+    _write_bench(
+        bench_out_dir,
+        "sweep_setup",
+        {
+            "dataset": f"{DATASET}/{tier}",
+            "partitions": NUM_PARTS,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 5.0, (
+        f"warm setup {speedup:.2f}x below the 5x bar "
+        f"({warm_seconds * 1e3:.1f} ms vs {cold_seconds * 1e3:.1f} ms)"
+    )

@@ -1,0 +1,6 @@
+"""``python -m repro.cache`` entry point."""
+
+from repro.cache.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""``repro-cache`` — inspect and manage the artifact cache.
+
+Subcommands:
+
+* ``stats`` — entry counts and byte totals per artifact kind;
+* ``clear`` — delete every cached artifact under the cache root.
+
+The cache directory resolves from ``--cache-dir``, then the
+``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.cache import CACHE_DIR_ENV
+from repro.cache.store import ArtifactCache
+
+
+def _human(num_bytes: float) -> str:
+    size = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{size:.1f} GiB"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Inspect and manage the repro artifact cache.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache root (default: ${CACHE_DIR_ENV})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("stats", help="show entry counts and sizes")
+    sub.add_parser("clear", help="delete every cached artifact")
+    return parser
+
+
+def _resolve_dir(arg: Optional[str]) -> Optional[str]:
+    return arg or os.environ.get(CACHE_DIR_ENV) or None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache_dir = _resolve_dir(args.cache_dir)
+    if cache_dir is None:
+        print(
+            f"no cache directory: pass --cache-dir or set ${CACHE_DIR_ENV}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ArtifactCache(cache_dir)
+    if args.command == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"entries:    {stats['entries']}")
+        print(f"size:       {_human(stats['bytes'])}")
+        for kind, info in sorted(stats["kinds"].items()):
+            print(
+                f"  {kind:<10} {info['entries']:>6} entries  "
+                f"{_human(info['bytes'])}"
+            )
+        return 0
+    if args.command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache_dir}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Content-addressed cache keys.
+
+Every cached artifact is addressed by the sha256 of a *canonical JSON*
+rendering of everything that determines its content: dataset spec + seed +
+scale for generated graphs, graph digest + partitioner name + parameters +
+seed for assignments, and so on.  Two processes that would generate the
+same artifact therefore compute the same key, with no coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import CacheError
+from repro.graph.csr import CSRGraph
+
+#: Bump when the on-disk layout of any artifact changes; old entries then
+#: simply miss instead of deserializing garbage.
+SCHEMA_VERSION = 1
+
+
+def cacheable_seed(seed: Any) -> Optional[int]:
+    """Normalize ``seed`` for keying, or ``None`` when uncacheable.
+
+    Only plain integers (and ``None`` is *not* cacheable: it means fresh
+    entropy) key a deterministic artifact.  Generators and seed sequences
+    are stateful — caching them would return stale results.
+    """
+    if isinstance(seed, bool):
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return None
+
+
+def canonical_key(kind: str, payload: Mapping[str, Any]) -> str:
+    """sha256 hex key for ``payload`` under the ``kind`` namespace.
+
+    The payload must be JSON-serializable with sorted keys; anything else
+    is a programming error and raises :class:`CacheError`.
+    """
+    try:
+        blob = json.dumps(
+            {"schema": SCHEMA_VERSION, "kind": kind, **payload},
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise CacheError(f"unserializable cache key payload: {exc}") from exc
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def graph_digest(graph: CSRGraph) -> str:
+    """Content digest of a CSR graph (structure + weights)."""
+    h = hashlib.sha256()
+    h.update(np.int64(graph.num_vertices).tobytes())
+    h.update(np.ascontiguousarray(graph.indptr).tobytes())
+    h.update(np.ascontiguousarray(graph.indices).tobytes())
+    if graph.weights is not None:
+        h.update(np.ascontiguousarray(graph.weights).tobytes())
+    return h.hexdigest()
+
+
+def dataset_key(
+    name: str, tier: str, seed: int, scale_shift: int
+) -> str:
+    """Key for a generated paper-dataset stand-in graph."""
+    return canonical_key(
+        "dataset",
+        {"name": name, "tier": tier, "seed": seed, "scale_shift": scale_shift},
+    )
+
+
+def partition_key(
+    graph_sha: str,
+    partitioner: str,
+    params: Mapping[str, Any],
+    num_parts: int,
+    seed: int,
+) -> str:
+    """Key for a partition assignment of one concrete graph."""
+    return canonical_key(
+        "partition",
+        {
+            "graph": graph_sha,
+            "partitioner": partitioner,
+            "params": dict(params),
+            "num_parts": num_parts,
+            "seed": seed,
+        },
+    )
+
+
+def mirror_key(graph_sha: str, assignment_sha: str, direction: str) -> str:
+    """Key for a mirror table of one (graph, assignment) pair."""
+    return canonical_key(
+        "mirrors",
+        {"graph": graph_sha, "assignment": assignment_sha, "direction": direction},
+    )
+
+
+def assignment_digest(parts: np.ndarray, num_parts: int) -> str:
+    """Content digest of a partition assignment."""
+    h = hashlib.sha256()
+    h.update(np.int64(num_parts).tobytes())
+    h.update(np.ascontiguousarray(parts).tobytes())
+    return h.hexdigest()

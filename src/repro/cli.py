@@ -20,6 +20,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import cache as repro_cache
 from repro.arch.energy import estimate_run_energy
 from repro.arch.registry import get_architecture, list_architectures
 from repro.errors import ReproError
@@ -30,7 +31,7 @@ from repro.faults.checkpoint import (
 )
 from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.graph import io as graph_io
-from repro.graph.datasets import list_datasets, load_dataset
+from repro.graph.datasets import list_datasets
 from repro.kernels.registry import get_kernel, list_kernels
 from repro.partition.registry import get_partitioner, list_partitioners
 from repro.runtime.config import SystemConfig
@@ -131,6 +132,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="snapshot interval for --checkpoint every-k",
     )
+    cache_mode = parser.add_mutually_exclusive_group()
+    cache_mode.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache generated graphs and partitions under DIR and reuse "
+        "them on repeat runs (default: $REPRO_CACHE_DIR if set, else no "
+        "caching)",
+    )
+    cache_mode.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="regenerate everything, ignoring $REPRO_CACHE_DIR",
+    )
     parser.add_argument("--trace-csv", default=None, help="write per-iteration trace CSV")
     parser.add_argument("--trace-jsonl", default=None, help="write per-iteration trace JSONL")
     parser.add_argument("--energy", action="store_true", help="print the energy estimate")
@@ -185,8 +200,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
+    if args.no_cache:
+        repro_cache.disable()
+    elif args.cache_dir is not None:
+        repro_cache.configure(args.cache_dir)
     if args.dataset:
-        graph, spec = load_dataset(args.dataset, tier=args.tier, seed=args.seed)
+        graph, spec = repro_cache.load_dataset_cached(
+            args.dataset, tier=args.tier, seed=args.seed
+        )
         graph_name = spec.name
     else:
         weighted = args.kernel in ("sssp", "widest-path")
@@ -235,7 +256,9 @@ def _run(args: argparse.Namespace) -> int:
             graph,
             kernel,
             config=config,
-            partitioner=get_partitioner(args.partitioner),
+            partitioner=repro_cache.CachedPartitioner(
+                get_partitioner(args.partitioner)
+            ),
             source=source,
             max_iterations=args.max_iterations,
             graph_name=graph_name,
@@ -263,7 +286,9 @@ def _run(args: argparse.Namespace) -> int:
     run = simulator.run(
         graph,
         kernel,
-        partitioner=get_partitioner(args.partitioner),
+        partitioner=repro_cache.CachedPartitioner(
+            get_partitioner(args.partitioner)
+        ),
         source=source,
         max_iterations=args.max_iterations,
         graph_name=graph_name,

@@ -69,6 +69,15 @@ class SimulationError(ReproError):
         return f"{base} [{detail}]"
 
 
+class CacheError(ReproError):
+    """Invalid artifact-cache request (bad key, kind, or configuration).
+
+    Note that *storage* failures (corrupt entries, unwritable directories)
+    are deliberately **not** raised as errors by the cache — they degrade to
+    regeneration so a broken cache can never break an experiment.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was invoked with invalid parameters."""
 

@@ -70,6 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget for crashed or timed-out sweep workers "
         "(exponential backoff between rounds)",
     )
+    cache_mode = run_p.add_mutually_exclusive_group()
+    cache_mode.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache generated graphs under DIR and reuse them on repeat "
+        "runs (default: $REPRO_CACHE_DIR if set, else no caching)",
+    )
+    cache_mode.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="regenerate everything, ignoring $REPRO_CACHE_DIR",
+    )
     fail_mode = run_p.add_mutually_exclusive_group()
     fail_mode.add_argument(
         "--keep-going",
@@ -134,6 +147,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in sorted(ALL_EXPERIMENTS):
             print(name)
         return 0
+    from repro import cache as repro_cache
+
+    if args.no_cache:
+        repro_cache.disable()
+    elif args.cache_dir is not None:
+        repro_cache.configure(args.cache_dir)
     targets = (
         sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
@@ -153,6 +172,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(report)
+    active = repro_cache.get_cache()
+    if active is not None and len(active.counters):
+        from repro.telemetry.report import cache_table
+
+        print()
+        print(cache_table(active.counters))
     return 0
 
 

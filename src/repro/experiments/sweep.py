@@ -46,7 +46,7 @@ from repro.experiments.common import DEFAULT_SEED, DEFAULT_TIER, ExperimentResul
 from repro.experiments.fig7 import PANELS
 from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.graph.csr import CSRGraph
-from repro.graph.datasets import load_dataset
+from repro.cache import load_dataset_cached
 from repro.kernels.registry import get_kernel
 from repro.runtime.config import SystemConfig
 from repro.utils.tables import TextTable
@@ -430,7 +430,9 @@ def run_sweep(
     graphs: Dict[Tuple[str, str, int], Tuple[CSRGraph, str]] = {}
     for task in tasks:
         if task.graph_key not in graphs:
-            graph, ds = load_dataset(task.dataset, tier=task.tier, seed=task.seed)
+            graph, ds = load_dataset_cached(
+                task.dataset, tier=task.tier, seed=task.seed
+            )
             graphs[task.graph_key] = (graph, ds.name)
 
     remaining_crashes = dict(crash_plan or {})
@@ -617,6 +619,7 @@ def run(
             "offload_bytes": list(out.offload_bytes),
             "frontier": list(out.frontier),
             "result_sha256": out.result_sha256,
+            "ledger_sha256": out.ledger_sha256,
         }
         if out.fetch_recovery_bytes or out.offload_recovery_bytes:
             data[out.task.label]["fetch_recovery_bytes"] = out.fetch_recovery_bytes

@@ -41,7 +41,7 @@ class CSRGraph:
         when true (default) the invariants are checked up front.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "_reverse_cache")
+    __slots__ = ("indptr", "indices", "weights", "_reverse_cache", "_symmetrized_cache")
 
     def __init__(
         self,
@@ -57,6 +57,7 @@ class CSRGraph:
             None if weights is None else np.ascontiguousarray(weights, dtype=np.float64)
         )
         self._reverse_cache: Optional["CSRGraph"] = None
+        self._symmetrized_cache: Optional["CSRGraph"] = None
         if validate:
             self._validate()
 
@@ -222,14 +223,25 @@ class CSRGraph:
         return self._reverse_cache
 
     def symmetrized(self, *, dedup: bool = True) -> "CSRGraph":
-        """Return the undirected closure: for each edge (u, v) also add (v, u)."""
+        """Return the undirected closure: for each edge (u, v) also add (v, u).
+
+        The default (deduplicated) closure is cached: every partitioner in
+        the setup path symmetrizes first, so partitioning the same graph
+        repeatedly — a Fig. 6/7 sweep over partitioner or part count — pays
+        the O(m log m) construction once.
+        """
+        if dedup and self._symmetrized_cache is not None:
+            return self._symmetrized_cache
         src, dst = self.edge_array()
         s = np.concatenate([src, dst])
         d = np.concatenate([dst, src])
         w = None
         if self.weights is not None:
             w = np.concatenate([self.weights, self.weights])
-        return CSRGraph.from_edges(s, d, self.num_vertices, w, dedup=dedup)
+        result = CSRGraph.from_edges(s, d, self.num_vertices, w, dedup=dedup)
+        if dedup:
+            self._symmetrized_cache = result
+        return result
 
     def without_self_loops(self) -> "CSRGraph":
         """Return a copy with self loops removed."""

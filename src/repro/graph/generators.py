@@ -116,9 +116,13 @@ def barabasi_albert(
 ) -> CSRGraph:
     """Preferential-attachment power-law graph.
 
-    Each new vertex attaches to ``attach`` existing vertices chosen
-    proportionally to degree (implemented with the repeated-endpoints trick,
-    vectorized per arriving vertex).
+    Each new vertex attaches to ``attach`` distinct existing vertices chosen
+    proportionally to degree, via rejection sampling over the endpoint pool:
+    uniform draws from the pool are degree-proportional, and re-drawing only
+    the still-missing count keeps the per-vertex cost O(attach) expected.
+    (The previous implementation used ``Generator.choice(replace=False)``,
+    which permutes the *entire* pool per arriving vertex — O(v·attach) — and
+    an O(v) ``np.setdiff1d`` fallback, making generation quadratic.)
     """
     if attach < 1:
         raise GraphError(f"attach must be >= 1, got {attach}")
@@ -137,12 +141,22 @@ def barabasi_albert(
     pool_fill = attach
     k = 0
     for v in range(attach, num_vertices):
-        picks = rng.choice(pool[:pool_fill], size=attach, replace=False) if pool_fill >= attach else pool[:pool_fill]
-        picks = np.unique(picks)
-        extra = attach - picks.size
-        if extra > 0:
-            candidates = np.setdiff1d(np.arange(v), picks, assume_unique=False)
-            picks = np.concatenate([picks, rng.choice(candidates, size=extra, replace=False)])
+        picks = np.unique(pool[rng.integers(0, pool_fill, size=attach)])
+        # The pool always holds >= attach distinct vertices (the seed
+        # clique alone provides them), so resampling the missing count
+        # terminates; the cap only guards pathological degree skew.
+        for _ in range(64):
+            missing = attach - picks.size
+            if missing == 0:
+                break
+            more = pool[rng.integers(0, pool_fill, size=missing)]
+            picks = np.union1d(picks, more)
+        else:
+            candidates = np.setdiff1d(pool[:pool_fill], picks)
+            picks = np.concatenate(
+                [picks, rng.choice(candidates, size=attach - picks.size, replace=False)]
+            )
+            picks.sort()
         cnt = picks.size
         src[k : k + cnt] = v
         dst[k : k + cnt] = picks

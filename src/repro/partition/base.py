@@ -132,6 +132,70 @@ class Partitioner(abc.ABC):
 
 
 # ---------------------------------------------------------------------- #
+# Balance helpers
+# ---------------------------------------------------------------------- #
+
+
+def fill_lightest(sizes: np.ndarray, count: int) -> np.ndarray:
+    """Part ids for ``count`` sequential lightest-part picks, vectorized.
+
+    Reproduces exactly the scalar loop ``for _ in range(count): p =
+    argmin(sizes); sizes[p] += 1`` (ties broken towards the lowest part id)
+    without per-pick Python.  The greedy sequence visits picks in increasing
+    ``(size-at-pick, part)`` order, and part ``p`` with starting size ``s_p``
+    is picked at sizes ``s_p, s_p + 1, ...`` — so the picks are the ``count``
+    smallest elements of that implicit multiset.  ``sizes`` is updated in
+    place, matching the scalar loop's final state.
+
+    Returns ``int64[count]`` part ids in pick order.
+    """
+    sizes = np.asarray(sizes)
+    k = sizes.size
+    if count < 0:
+        raise PartitionError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if k == 0:
+        raise PartitionError("cannot fill parts of an empty assignment")
+    if count < 8:
+        # Short fills are cheaper as the scalar loop they replace.
+        picked = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            p = int(np.argmin(sizes))
+            picked[i] = p
+            sizes[p] += 1
+        return picked
+    # Largest level T with #{keys < T} <= count, by binary search on the
+    # monotone key-count sum(max(0, T - s_p)).
+    lo = int(sizes.min())
+    hi = lo + count + 1
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        below = int(np.maximum(mid - sizes, 0).sum())
+        if below <= count:
+            lo = mid
+        else:
+            hi = mid
+    level = lo
+    picks_per_part = np.maximum(level - sizes, 0).astype(np.int64)
+    remainder = count - int(picks_per_part.sum())
+    if remainder:
+        # Ties at key == level go to the lowest-indexed eligible parts.
+        eligible = np.flatnonzero(sizes <= level)[:remainder]
+        picks_per_part[eligible] += 1
+    part_ids = np.repeat(np.arange(k, dtype=np.int64), picks_per_part)
+    # Key of part p's j-th pick is s_p + j (its size at that moment).
+    slice_start = np.zeros(k, dtype=np.int64)
+    np.cumsum(picks_per_part[:-1], out=slice_start[1:])
+    within = np.arange(count, dtype=np.int64) - slice_start[part_ids]
+    keys = sizes[part_ids] + within
+    order = np.lexsort((part_ids, keys))
+    picked = part_ids[order]
+    sizes += picks_per_part
+    return picked
+
+
+# ---------------------------------------------------------------------- #
 # Quality metrics
 # ---------------------------------------------------------------------- #
 

@@ -1,0 +1,134 @@
+"""Scalar reference implementations of the streaming partitioners.
+
+These are the pre-vectorization, per-vertex implementations of
+:class:`~repro.partition.streaming.LDGStreamingPartitioner` and
+:class:`~repro.partition.bfs_grow.BFSGrowPartitioner`, kept verbatim for
+two purposes:
+
+* **equivalence tests** — the vectorized partitioners must be bit-identical
+  to these for every (graph, k, seed), and the test suite asserts it on a
+  spread of graph shapes;
+* **benchmarks** — ``benchmarks/test_partition_bench.py`` measures the
+  vectorized implementations against these and records the speedup in
+  ``BENCH_partition.json``.
+
+They are intentionally *not* registered with the partitioner registry and
+must never be used on a hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import gather_neighbor_slices
+from repro.partition.base import PartitionAssignment
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def ldg_reference(
+    graph: CSRGraph,
+    num_parts: int,
+    *,
+    seed: SeedLike = None,
+    slack: float = 0.1,
+    order: str = "random",
+) -> PartitionAssignment:
+    """Per-vertex LDG placement, exactly as shipped before vectorization."""
+    rng = ensure_rng(seed)
+    n = graph.num_vertices
+    if n == 0:
+        return PartitionAssignment(np.empty(0, dtype=np.int64), num_parts)
+    und = graph.symmetrized()
+    capacity = (1.0 + slack) * n / num_parts
+    parts = np.full(n, -1, dtype=np.int64)
+    sizes = np.zeros(num_parts, dtype=np.int64)
+
+    for v in _reference_stream(und, rng, order):
+        nbrs = und.neighbors(int(v))
+        placed = nbrs[parts[nbrs] >= 0]
+        neighbor_counts = np.bincount(
+            parts[placed], minlength=num_parts
+        ).astype(np.float64)
+        penalty = 1.0 - sizes / capacity
+        scores = neighbor_counts * np.maximum(penalty, 0.0)
+        if scores.max() <= 0.0:
+            choice = int(np.argmin(sizes))
+        else:
+            choice = int(np.argmax(scores))
+            if sizes[choice] >= capacity:
+                choice = int(np.argmin(sizes))
+        parts[v] = choice
+        sizes[choice] += 1
+    return PartitionAssignment(parts, num_parts)
+
+
+def _reference_stream(
+    graph: CSRGraph, rng: np.random.Generator, order: str
+) -> np.ndarray:
+    n = graph.num_vertices
+    if order == "natural":
+        return np.arange(n, dtype=np.int64)
+    if order == "random":
+        return rng.permutation(n)
+    from repro.graph.traversal import bfs_levels
+
+    start = int(rng.integers(0, n))
+    levels = bfs_levels(graph, start)
+    reached = np.argsort(levels + (levels < 0) * (levels.max() + 2))
+    return reached.astype(np.int64)
+
+
+def bfs_grow_reference(
+    graph: CSRGraph, num_parts: int, *, seed: SeedLike = None
+) -> PartitionAssignment:
+    """Region-growing with the scalar seed scan and leftover loop."""
+    rng = ensure_rng(seed)
+    n = graph.num_vertices
+    if n == 0:
+        return PartitionAssignment(np.empty(0, dtype=np.int64), num_parts)
+    und = graph.symmetrized()
+    parts = np.full(n, -1, dtype=np.int64)
+    budget = _reference_budgets(n, num_parts)
+    unvisited_order = rng.permutation(n)
+    cursor = 0
+
+    for p in range(num_parts):
+        remaining = budget[p]
+        while cursor < n and parts[unvisited_order[cursor]] >= 0:
+            cursor += 1
+        if cursor >= n:
+            break
+        frontier = np.asarray([unvisited_order[cursor]], dtype=np.int64)
+        parts[frontier] = p
+        remaining -= 1
+        while remaining > 0 and frontier.size:
+            nbrs = gather_neighbor_slices(und, frontier)
+            fresh = np.unique(nbrs[parts[nbrs] < 0]) if nbrs.size else nbrs
+            if fresh.size == 0:
+                while cursor < n and parts[unvisited_order[cursor]] >= 0:
+                    cursor += 1
+                if cursor >= n:
+                    break
+                fresh = np.asarray([unvisited_order[cursor]], dtype=np.int64)
+            if fresh.size > remaining:
+                fresh = fresh[:remaining]
+            parts[fresh] = p
+            remaining -= fresh.size
+            frontier = fresh
+
+    leftover = np.nonzero(parts < 0)[0]
+    if leftover.size:
+        sizes = np.bincount(parts[parts >= 0], minlength=num_parts)
+        for v in leftover:
+            p = int(np.argmin(sizes))
+            parts[v] = p
+            sizes[p] += 1
+    return PartitionAssignment(parts, num_parts)
+
+
+def _reference_budgets(n: int, k: int) -> np.ndarray:
+    base = n // k
+    budgets = np.full(k, base, dtype=np.int64)
+    budgets[: n % k] += 1
+    return budgets

@@ -46,6 +46,27 @@ def fault_table(
     return table
 
 
+def cache_table(
+    counters: Mapping[str, float],
+    title: str = "Artifact cache",
+) -> TextTable:
+    """Render the artifact cache's hit/miss/write counters.
+
+    ``counters`` is a :class:`~repro.telemetry.counters.CounterSet` (or any
+    mapping) holding the ``cache.*`` counters an
+    :class:`~repro.cache.ArtifactCache` accumulates; pass
+    ``cache.counters`` directly.
+    """
+    table = TextTable(["counter", "value"], title=title)
+    for name in sorted(n for n in counters if n.startswith("cache.")):
+        value = counters[name]
+        if name == "cache.seconds_saved":
+            table.add_row(name, f"{value:.3f}s")
+        else:
+            table.add_row(name, f"{value:g}")
+    return table
+
+
 def to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
     """Serialize a homogeneous row list to CSV text."""
     if not rows:

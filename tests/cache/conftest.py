@@ -1,0 +1,22 @@
+"""Isolation for cache tests: each test gets a pristine global cache state.
+
+The cache package keeps one process-global ``ArtifactCache`` (plus a
+memoized env-var check); leaking it across tests — or into the rest of the
+suite — would make results depend on test order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cache as repro_cache
+
+
+@pytest.fixture(autouse=True)
+def _pristine_cache_state(monkeypatch):
+    monkeypatch.delenv(repro_cache.CACHE_DIR_ENV, raising=False)
+    saved = (repro_cache._active, repro_cache._env_checked)
+    repro_cache.disable()
+    repro_cache._env_checked = False
+    yield
+    repro_cache._active, repro_cache._env_checked = saved

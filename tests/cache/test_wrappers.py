@@ -1,0 +1,140 @@
+"""Cached setup-path wrappers return byte-identical artifacts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CachedPartitioner,
+    build_mirror_table_cached,
+    load_dataset_cached,
+)
+from repro.cache.store import ArtifactCache
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import erdos_renyi
+from repro.partition.mirrors import build_mirror_table
+from repro.partition.registry import get_partitioner
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(tmp_path)
+
+
+class TestDatasetWrapper:
+    def test_cold_then_warm_identical(self, cache):
+        direct, spec = load_dataset("wikitalk-sim", tier="tiny", seed=7)
+        cold, _ = load_dataset_cached(
+            "wikitalk-sim", tier="tiny", seed=7, cache=cache
+        )
+        warm, warm_spec = load_dataset_cached(
+            "wikitalk-sim", tier="tiny", seed=7, cache=cache
+        )
+        for got in (cold, warm):
+            np.testing.assert_array_equal(got.indptr, direct.indptr)
+            np.testing.assert_array_equal(got.indices, direct.indices)
+        assert warm_spec.name == spec.name
+        assert cache.counters["cache.dataset.hits"] == 1
+        assert cache.counters["cache.dataset.writes"] == 1
+
+    def test_no_cache_passthrough(self):
+        graph, spec = load_dataset_cached("wikitalk-sim", tier="tiny", seed=7)
+        direct, _ = load_dataset("wikitalk-sim", tier="tiny", seed=7)
+        np.testing.assert_array_equal(graph.indices, direct.indices)
+        assert spec.name == "wikitalk-sim"
+
+    def test_distinct_seeds_get_distinct_entries(self, cache):
+        a, _ = load_dataset_cached("wikitalk-sim", tier="tiny", seed=7, cache=cache)
+        b, _ = load_dataset_cached("wikitalk-sim", tier="tiny", seed=8, cache=cache)
+        assert cache.counters["cache.dataset.writes"] == 2
+        assert not np.array_equal(a.indices, b.indices)
+
+
+class TestCachedPartitioner:
+    @pytest.mark.parametrize("name", ["ldg", "bfs", "hash"])
+    def test_warm_hit_is_byte_identical(self, cache, name):
+        graph = erdos_renyi(400, 2400, seed=5)
+        inner = get_partitioner(name)
+        wrapped = CachedPartitioner(inner, cache=cache)
+        want = inner.partition(graph, 8, seed=3)
+        cold = wrapped.partition(graph, 8, seed=3)
+        warm = wrapped.partition(graph, 8, seed=3)
+        np.testing.assert_array_equal(cold.parts, want.parts)
+        np.testing.assert_array_equal(warm.parts, want.parts)
+        assert warm.num_parts == want.num_parts
+        assert cache.counters["cache.partition.hits"] == 1
+
+    def test_uncacheable_seed_bypasses_cache(self, cache):
+        graph = erdos_renyi(200, 1000, seed=5)
+        wrapped = CachedPartitioner(get_partitioner("ldg"), cache=cache)
+        wrapped.partition(graph, 4, seed=np.random.default_rng(1))
+        wrapped.partition(graph, 4, seed=None)
+        assert cache.counters["cache.partition.writes"] == 0
+        assert cache.counters["cache.partition.misses"] == 0
+
+    def test_key_separates_graph_params_parts_seed(self, cache):
+        g1 = erdos_renyi(200, 1000, seed=5)
+        g2 = erdos_renyi(200, 1000, seed=6)
+        wrapped = CachedPartitioner(get_partitioner("ldg"), cache=cache)
+        wrapped.partition(g1, 4, seed=3)
+        wrapped.partition(g2, 4, seed=3)   # different graph
+        wrapped.partition(g1, 8, seed=3)   # different k
+        wrapped.partition(g1, 4, seed=4)   # different seed
+        slack = CachedPartitioner(get_partitioner("ldg", slack=0.5), cache=cache)
+        slack.partition(g1, 4, seed=3)     # different params
+        assert cache.counters["cache.partition.writes"] == 5
+        assert cache.counters["cache.partition.hits"] == 0
+
+    def test_name_mirrors_inner(self, cache):
+        wrapped = CachedPartitioner(get_partitioner("ldg"), cache=cache)
+        assert wrapped.name == "ldg"
+
+
+class TestMirrorWrapper:
+    def test_warm_hit_is_byte_identical(self, cache):
+        graph = erdos_renyi(300, 1800, seed=5)
+        assignment = get_partitioner("hash").partition(graph, 8)
+        want = build_mirror_table(graph, assignment, direction="push")
+        cold = build_mirror_table_cached(
+            graph, assignment, direction="push", cache=cache
+        )
+        warm = build_mirror_table_cached(
+            graph, assignment, direction="push", cache=cache
+        )
+        for got in (cold, warm):
+            np.testing.assert_array_equal(got.mirror_vertices, want.mirror_vertices)
+            np.testing.assert_array_equal(got.mirror_parts, want.mirror_parts)
+            assert got.num_vertices == want.num_vertices
+            assert got.num_parts == want.num_parts
+            assert got.direction == "push"
+        assert cache.counters["cache.mirrors.hits"] == 1
+
+    def test_directions_are_distinct_entries(self, cache):
+        graph = erdos_renyi(300, 1800, seed=5)
+        assignment = get_partitioner("hash").partition(graph, 8)
+        push = build_mirror_table_cached(
+            graph, assignment, direction="push", cache=cache
+        )
+        pull = build_mirror_table_cached(
+            graph, assignment, direction="pull", cache=cache
+        )
+        assert cache.counters["cache.mirrors.writes"] == 2
+        want_pull = build_mirror_table(graph, assignment, direction="pull")
+        np.testing.assert_array_equal(pull.mirror_vertices, want_pull.mirror_vertices)
+        assert push.direction == "push" and pull.direction == "pull"
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_dataset_entry_regenerates(self, cache):
+        cold, _ = load_dataset_cached(
+            "wikitalk-sim", tier="tiny", seed=7, cache=cache
+        )
+        entry = next((cache.root / "dataset").glob("*/*.npz"))
+        entry.write_bytes(b"garbage")
+        again, _ = load_dataset_cached(
+            "wikitalk-sim", tier="tiny", seed=7, cache=cache
+        )
+        np.testing.assert_array_equal(again.indices, cold.indices)
+        assert cache.counters["cache.dataset.corrupt"] == 1
+        assert cache.counters["cache.dataset.writes"] == 2
