@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: engine profiling throughput at the medium preset.
+
+Compares the ``profile_throughput_medium`` section of a freshly generated
+``benchmarks/out/BENCH_engine.json`` against the committed baseline and
+fails (exit 1) when the throughput metric dropped more than 20%.
+
+The gated metric is the fast path's *speedup over the sort-based oracle*,
+not raw seconds: both sides of the ratio run on the same machine in the
+same process, so the number is portable across runner hardware while still
+collapsing to ~1x if the O(E) path ever regresses to sort-bound behaviour.
+The committed baseline is deliberately conservative (below typically
+measured values) so runner-to-runner noise does not trip the gate; a real
+algorithmic regression overshoots 20% by an order of magnitude.
+
+Usage::
+
+    python benchmarks/check_regression.py \\
+        [--current benchmarks/out/BENCH_engine.json] \\
+        [--baseline benchmarks/baseline/BENCH_engine.medium.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SECTION = "profile_throughput_medium"
+METRIC = "speedup"
+MAX_DROP = 0.20
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        default=str(REPO_ROOT / "benchmarks" / "out" / "BENCH_engine.json"),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(
+            REPO_ROOT / "benchmarks" / "baseline" / "BENCH_engine.medium.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current_doc = json.loads(Path(args.current).read_text())
+    except FileNotFoundError:
+        print(
+            f"bench-regression: {args.current} missing — run the micro "
+            "benches first (pytest benchmarks/test_micro_bench.py)",
+            file=sys.stderr,
+        )
+        return 2
+    baseline_doc = json.loads(Path(args.baseline).read_text())
+
+    if SECTION not in current_doc:
+        print(
+            f"bench-regression: section {SECTION!r} missing from "
+            f"{args.current}",
+            file=sys.stderr,
+        )
+        return 2
+    current = float(current_doc[SECTION][METRIC])
+    baseline = float(baseline_doc[SECTION][METRIC])
+    floor = baseline * (1.0 - MAX_DROP)
+
+    print(
+        f"bench-regression: {SECTION}.{METRIC} = {current:.2f} "
+        f"(baseline {baseline:.2f}, floor {floor:.2f})"
+    )
+    if current < floor:
+        drop = 100.0 * (1.0 - current / baseline)
+        print(
+            f"bench-regression: FAIL — throughput dropped {drop:.1f}% "
+            f"(> {MAX_DROP:.0%}) vs the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-regression: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

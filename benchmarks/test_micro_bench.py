@@ -22,6 +22,7 @@ from repro.arch.engine import (
     execute_iteration,
     frontier_structure,
 )
+from repro.arch.reference import frontier_structure_reference
 from repro.arch.trace import record_trace
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import rmat
@@ -191,3 +192,100 @@ def test_cached_vs_uncached_profile(lj_small, bench_out_dir):
     )
     # A hit is an O(|F|) comparison; anything < 2x means the cache broke.
     assert speedup >= 2.0
+
+
+def test_structural_profile_fast_vs_oracle(bench_out_dir):
+    """The O(E) flag-array profiler must beat the sort oracle >= 3x.
+
+    Measured on BFS's widest frontier at the large preset — the
+    profiling-dominated regime where the old triple ``np.unique`` pipeline
+    paid three |E| log |E| sorts per iteration.
+    """
+    from repro.arch.engine import prepare_graph
+    from repro.kernels.registry import get_kernel
+
+    graph, _ = load_dataset("livejournal-sim", tier="large", seed=7)
+    kernel = get_kernel("bfs")
+    prepared = prepare_graph(graph, kernel)
+    assignment = HashPartitioner().partition(prepared, 16, seed=7)
+    source = int(prepared.out_degrees.argmax())
+
+    # Step BFS to its widest frontier.
+    state = kernel.initial_state(prepared, source=source)
+    widest = state.frontier.copy()
+    for _ in range(6):
+        if state.frontier.size == 0:
+            break
+        if state.frontier.size > widest.size:
+            widest = state.frontier.copy()
+        execute_iteration(kernel, state, assignment)
+
+    fast_seconds, fast = _min_of(
+        lambda: frontier_structure(prepared, widest, assignment), rounds=5
+    )
+    oracle_seconds, ref = _min_of(
+        lambda: frontier_structure_reference(prepared, widest, assignment),
+        rounds=5,
+    )
+    np.testing.assert_array_equal(fast.pair_dst, ref.pair_dst)
+    np.testing.assert_array_equal(fast.pair_part, ref.pair_part)
+    np.testing.assert_array_equal(
+        fast.updates_per_destination, ref.updates_per_destination
+    )
+
+    speedup = oracle_seconds / fast_seconds
+    _write_bench_engine(
+        bench_out_dir,
+        "structural_profile_fast_vs_oracle",
+        {
+            "workload": "bfs-widest-frontier/livejournal-sim/large",
+            "partitions": 16,
+            "frontier_size": int(widest.size),
+            "edges_traversed": int(fast.edges_traversed),
+            "fast_seconds": fast_seconds,
+            "oracle_seconds": oracle_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 3.0, (
+        f"O(E) profiling speedup {speedup:.2f}x below the 3x bar "
+        f"({fast_seconds * 1e3:.1f} ms vs {oracle_seconds * 1e3:.1f} ms)"
+    )
+
+
+def test_profile_throughput_medium(bench_out_dir):
+    """Medium-preset profiling throughput — the bench-regression anchor.
+
+    ``benchmarks/check_regression.py`` compares this section against the
+    committed baseline and fails CI on a > 20% drop in the fast path's
+    speedup over the (stable, sort-based) oracle.  The ratio is used rather
+    than raw seconds so the check is portable across runner hardware; the
+    absolute edges/second figure is recorded for human eyes.
+    """
+    graph, _ = load_dataset("livejournal-sim", tier="medium", seed=7)
+    assignment = HashPartitioner().partition(graph, 16, seed=7)
+    frontier = np.arange(graph.num_vertices, dtype=np.int64)
+
+    fast_seconds, fast = _min_of(
+        lambda: frontier_structure(graph, frontier, assignment), rounds=5
+    )
+    oracle_seconds, ref = _min_of(
+        lambda: frontier_structure_reference(graph, frontier, assignment),
+        rounds=3,
+    )
+    np.testing.assert_array_equal(fast.pair_dst, ref.pair_dst)
+
+    _write_bench_engine(
+        bench_out_dir,
+        "profile_throughput_medium",
+        {
+            "workload": "all-vertices/livejournal-sim/medium",
+            "partitions": 16,
+            "edges": int(graph.num_edges),
+            "fast_seconds": fast_seconds,
+            "oracle_seconds": oracle_seconds,
+            "edges_per_second": graph.num_edges / fast_seconds,
+            "speedup": oracle_seconds / fast_seconds,
+        },
+    )
+    assert oracle_seconds > fast_seconds

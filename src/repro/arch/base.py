@@ -27,6 +27,7 @@ from repro.partition.base import PartitionAssignment, Partitioner
 from repro.partition.mirrors import MirrorTable, build_mirror_table
 from repro.partition.random_hash import HashPartitioner
 from repro.arch.engine import (
+    EngineTelemetry,
     IterationProfile,
     StructuralProfileCache,
     execute_iteration,
@@ -154,6 +155,7 @@ class ArchitectureSimulator(abc.ABC):
         state = kernel.initial_state(prepared, source=source)
         cap = max_iterations if max_iterations is not None else kernel.max_iterations
         cache = StructuralProfileCache()
+        telemetry = EngineTelemetry()
         self._on_run_start(ctx, state)
 
         for _ in range(cap):
@@ -166,12 +168,19 @@ class ArchitectureSimulator(abc.ABC):
                 assignment,
                 mirrors_per_vertex=mirrors_per_vertex,
                 cache=cache,
+                memory_budget_bytes=self.config.memory_budget_bytes,
+                telemetry=telemetry,
             )
             stats = self._account_iteration(profile, ctx)
             result.iterations.append(stats)
             if kernel.has_converged(state):
                 result.converged = True
                 break
+
+        counters = result.counters
+        counters.add("engine-peak-tracked-bytes", telemetry.peak_tracked_bytes)
+        counters.add("engine-edge-blocks", telemetry.edge_blocks)
+        counters.add("engine-streamed-iterations", telemetry.streamed_iterations)
 
         state.converged = result.converged
         result.final_state = state
@@ -237,6 +246,10 @@ class ArchitectureSimulator(abc.ABC):
         self._on_run_start(ctx, trace.final_state)
         for profile in trace.profiles:
             result.iterations.append(self._account_iteration(profile, ctx))
+        counters = result.counters
+        counters.add("engine-peak-tracked-bytes", trace.peak_tracked_bytes)
+        counters.add("engine-edge-blocks", trace.edge_blocks)
+        counters.add("engine-streamed-iterations", trace.streamed_iterations)
         result.converged = trace.converged
         result.final_state = trace.final_state
         return result

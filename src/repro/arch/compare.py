@@ -169,6 +169,7 @@ def compare_architectures(
             max_iterations=max_iterations,
             graph_name=graph_name,
             seed=seed,
+            memory_budget_bytes=cfg.memory_budget_bytes,
         )
         runs = [
             sim.replay(trace, faults=faults, checkpoint=checkpoint)

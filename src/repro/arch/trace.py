@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.arch.engine import (
+    EngineTelemetry,
     IterationProfile,
     StructuralProfileCache,
     execute_iteration,
@@ -62,6 +63,11 @@ class ExecutionTrace:
     #: structural-profile cache statistics from the recording pass
     cache_hits: int = 0
     cache_misses: int = 0
+    #: engine telemetry from the recording pass (see
+    #: :class:`~repro.arch.engine.EngineTelemetry`)
+    peak_tracked_bytes: int = 0
+    edge_blocks: int = 0
+    streamed_iterations: int = 0
 
     @property
     def num_iterations(self) -> int:
@@ -88,6 +94,7 @@ def record_trace(
     seed: SeedLike = 0,
     with_mirrors: bool = True,
     cache: Optional[StructuralProfileCache] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> ExecutionTrace:
     """Execute ``kernel`` on ``graph`` once and record every iteration.
 
@@ -97,6 +104,9 @@ def record_trace(
     the trace too (skip it to save the construction when only
     disaggregated accounting is needed).  ``cache`` overrides the
     structural-profile cache (pass ``None`` for the default fresh cache).
+    ``memory_budget_bytes`` caps the engine's per-iteration edge
+    transients; over budget, edges stream in blocks with bit-identical
+    profiles and numerics (telemetry lands on the returned trace).
     """
     if not kernel.supports_engine:
         raise SimulationError(
@@ -129,6 +139,7 @@ def record_trace(
         mirrors_per_vertex = mirror_table.mirrors_per_vertex()
 
     cache = cache if cache is not None else StructuralProfileCache()
+    telemetry = EngineTelemetry()
     state = kernel.initial_state(prepared, source=source)
     cap = max_iterations if max_iterations is not None else kernel.max_iterations
 
@@ -152,6 +163,8 @@ def record_trace(
             assignment,
             mirrors_per_vertex=mirrors_per_vertex,
             cache=cache,
+            memory_budget_bytes=memory_budget_bytes,
+            telemetry=telemetry,
         )
         trace.profiles.append(profile)
         if kernel.has_converged(state):
@@ -161,4 +174,7 @@ def record_trace(
     state.converged = trace.converged
     trace.cache_hits = cache.hits
     trace.cache_misses = cache.misses
+    trace.peak_tracked_bytes = telemetry.peak_tracked_bytes
+    trace.edge_blocks = telemetry.edge_blocks
+    trace.streamed_iterations = telemetry.streamed_iterations
     return trace

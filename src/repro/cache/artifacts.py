@@ -52,8 +52,13 @@ def graph_to_arrays(graph: CSRGraph) -> Dict[str, np.ndarray]:
 
 
 def graph_from_arrays(arrays: Mapping[str, np.ndarray]) -> CSRGraph:
+    # Preserve the stored index dtype: re-narrowing a deliberately wide
+    # graph on load would change its digest and orphan derived artifacts.
     return CSRGraph(
-        arrays["indptr"], arrays["indices"], arrays.get("weights")
+        arrays["indptr"],
+        arrays["indices"],
+        arrays.get("weights"),
+        index_dtype=np.asarray(arrays["indices"]).dtype,
     )
 
 

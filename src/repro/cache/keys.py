@@ -20,7 +20,8 @@ from repro.graph.csr import CSRGraph
 
 #: Bump when the on-disk layout of any artifact changes; old entries then
 #: simply miss instead of deserializing garbage.
-SCHEMA_VERSION = 1
+#: v2: graph digests include the CSR index dtype (narrow-index graphs).
+SCHEMA_VERSION = 2
 
 
 def cacheable_seed(seed: Any) -> Optional[int]:
@@ -56,14 +57,13 @@ def canonical_key(kind: str, payload: Mapping[str, Any]) -> str:
 
 
 def graph_digest(graph: CSRGraph) -> str:
-    """Content digest of a CSR graph (structure + weights)."""
-    h = hashlib.sha256()
-    h.update(np.int64(graph.num_vertices).tobytes())
-    h.update(np.ascontiguousarray(graph.indptr).tobytes())
-    h.update(np.ascontiguousarray(graph.indices).tobytes())
-    if graph.weights is not None:
-        h.update(np.ascontiguousarray(graph.weights).tobytes())
-    return h.hexdigest()
+    """Content digest of a CSR graph (structure + weights + index dtype).
+
+    Delegates to :attr:`CSRGraph.digest`, which caches the hash on the
+    graph — sweeps re-key the same graph for every (partitioner, parts)
+    combination.
+    """
+    return graph.digest
 
 
 def dataset_key(

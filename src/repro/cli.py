@@ -38,7 +38,7 @@ from repro.runtime.config import SystemConfig
 from repro.runtime.offload import get_policy, list_policies
 from repro.telemetry.report import movement_table
 from repro.trace import trace_run, write_trace_csv, write_trace_jsonl
-from repro.utils.units import format_bytes
+from repro.utils.units import format_bytes, parse_bytes
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,7 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--graph-file", help="SNAP-style edge list file"
     )
     parser.add_argument(
-        "--tier", default="small", choices=("tiny", "small", "medium")
+        "--tier", default="small", choices=("tiny", "small", "medium", "large")
+    )
+    parser.add_argument(
+        "--scale-shift",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra log2 vertex-count shift on top of the tier (e.g. "
+        "--tier large --scale-shift 2 for one-off paper-scale runs)",
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
@@ -82,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="offload policy (disaggregated-ndp only)",
     )
     parser.add_argument("--inc", action="store_true", help="enable in-network aggregation")
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="cap the engine's per-iteration edge transients (e.g. '8G', "
+        "'512MiB'); over budget, edges stream in CSR-ordered blocks with "
+        "bit-identical profiles and numerics",
+    )
     parser.add_argument(
         "--compare",
         action="store_true",
@@ -206,7 +222,10 @@ def _run(args: argparse.Namespace) -> int:
         repro_cache.configure(args.cache_dir)
     if args.dataset:
         graph, spec = repro_cache.load_dataset_cached(
-            args.dataset, tier=args.tier, seed=args.seed
+            args.dataset,
+            tier=args.tier,
+            seed=args.seed,
+            scale_shift=args.scale_shift,
         )
         graph_name = spec.name
     else:
@@ -242,10 +261,18 @@ def _run(args: argparse.Namespace) -> int:
         )
         return 0
 
+    memory_budget = None
+    if args.memory_budget is not None:
+        try:
+            memory_budget = parse_bytes(args.memory_budget)
+        except ValueError as exc:
+            print(f"error: --memory-budget: {exc}", file=sys.stderr)
+            return 2
     config = SystemConfig(
         num_compute_nodes=args.hosts,
         num_memory_nodes=args.parts,
         enable_inc=args.inc,
+        memory_budget_bytes=memory_budget,
     )
     faults = _build_faults(args)
     checkpoint = _build_checkpoint(args)
@@ -320,6 +347,13 @@ def _run(args: argparse.Namespace) -> int:
         f"{recovery_note}, "
         f"modeled time {run.total_seconds * 1e3:.3f} ms"
     )
+    streamed = int(run.counters["engine-streamed-iterations"])
+    if streamed:
+        print(
+            f"engine streaming: {streamed} iterations in "
+            f"{int(run.counters['engine-edge-blocks'])} blocks, peak tracked "
+            f"{format_bytes(run.counters['engine-peak-tracked-bytes'])}"
+        )
     if args.energy:
         breakdown = estimate_run_energy(run)
         print(

@@ -35,10 +35,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--tier",
         default="small",
-        choices=("tiny", "small", "medium"),
+        choices=("tiny", "small", "medium", "large"),
         help="dataset size tier",
     )
     run_p.add_argument("--seed", type=int, default=7, help="dataset seed")
+    run_p.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="cap the engine's per-iteration edge transients (e.g. '8G', "
+        "'512MiB'); over budget, edges stream in blocks with bit-identical "
+        "results.  Applies to the 'sweep' experiment",
+    )
     run_p.add_argument(
         "--json",
         metavar="DIR",
@@ -112,6 +120,7 @@ def run_experiment(
     timeout: Optional[float] = None,
     retries: int = 2,
     keep_going: bool = False,
+    memory_budget_bytes: Optional[int] = None,
 ) -> str:
     """Run one experiment and return its rendered report."""
     try:
@@ -131,6 +140,7 @@ def run_experiment(
             timeout=timeout,
             retries=retries,
             keep_going=keep_going,
+            memory_budget_bytes=memory_budget_bytes,
         )
     else:
         result = fn(tier=tier, seed=seed)  # type: ignore[call-arg]
@@ -156,6 +166,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     targets = (
         sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
+    budget = None
+    if args.memory_budget is not None:
+        from repro.utils.units import parse_bytes
+
+        try:
+            budget = parse_bytes(args.memory_budget)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     for target in targets:
         try:
             report = run_experiment(
@@ -167,6 +186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 timeout=args.timeout,
                 retries=args.retries,
                 keep_going=args.keep_going,
+                memory_budget_bytes=budget,
             )
         except ExperimentError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -51,8 +51,6 @@ from repro.kernels.registry import get_kernel
 from repro.runtime.config import SystemConfig
 from repro.utils.tables import TextTable
 
-_INDEX_DTYPE = np.int64
-
 
 # --------------------------------------------------------------------------- #
 # Shared-memory CSR publication
@@ -146,7 +144,11 @@ def attach_shared_graph(
         segments.append(shm)
         arrays.append(aspec.attach(shm))
     indptr, indices, weights = arrays
-    graph = CSRGraph(indptr, indices, weights, validate=False)
+    # Pin the published index dtype so the attach stays zero-copy even when
+    # it differs from what the constructor would auto-select.
+    graph = CSRGraph(
+        indptr, indices, weights, validate=False, index_dtype=indices.dtype
+    )
     return graph, segments
 
 
@@ -193,6 +195,9 @@ class SweepTask:
     #: optional deterministic fault schedule injected into both replays
     #: (accounting only — the recorded numerics are untouched)
     fault_spec: Optional[FaultSpec] = None
+    #: optional engine memory budget; over it, edge transients stream in
+    #: blocks (bit-identical profiles/numerics, see the engine docs)
+    memory_budget_bytes: Optional[int] = None
 
     @property
     def label(self) -> str:
@@ -250,7 +255,10 @@ def _execute_task(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOut
     """
     kernel = get_kernel(task.kernel)
     source = int(graph.out_degrees.argmax()) if kernel.needs_source else None
-    config = SystemConfig(num_memory_nodes=task.partitions)
+    config = SystemConfig(
+        num_memory_nodes=task.partitions,
+        memory_budget_bytes=task.memory_budget_bytes,
+    )
     trace = record_trace(
         graph,
         kernel,
@@ -260,6 +268,7 @@ def _execute_task(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOut
         graph_name=graph_name,
         seed=task.seed,
         with_mirrors=False,
+        memory_budget_bytes=task.memory_budget_bytes,
     )
     # One schedule built up front serves both replays — identical events.
     faults = (
@@ -574,9 +583,15 @@ def run(
     timeout: Optional[float] = None,
     retries: int = 2,
     keep_going: bool = False,
+    memory_budget_bytes: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep experiment entry point (``repro-experiments sweep``)."""
     chosen = list(tasks) if tasks is not None else fig7_sweep_tasks(tier=tier, seed=seed)
+    if memory_budget_bytes is not None:
+        chosen = [
+            replace(task, memory_budget_bytes=memory_budget_bytes)
+            for task in chosen
+        ]
     outcomes = run_sweep(
         chosen, jobs=jobs, timeout=timeout, retries=retries, keep_going=keep_going
     )

@@ -13,6 +13,8 @@ bulk operations are vectorized (no per-edge Python loops on hot paths).
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
@@ -22,7 +24,22 @@ from repro.errors import GraphError
 #: Wire size of one edge record in the paper's accounting (Section IV.A).
 EDGE_RECORD_BYTES = 8
 
+#: Dtype of ``indptr`` (offsets can exceed 2**32 for paper-scale edge
+#: counts) and of every vertex-id array handed across module boundaries.
 _INDEX_DTYPE = np.int64
+
+#: Narrow edge-index dtype used whenever every vertex id fits: halves the
+#: footprint and gather bandwidth of the dominant ``indices`` array.
+_NARROW_DTYPE = np.uint32
+
+_uid_counter = itertools.count()
+
+
+def index_dtype_for(num_vertices: int) -> np.dtype:
+    """Smallest supported index dtype that can hold ids ``< num_vertices``."""
+    if num_vertices < 2**32:
+        return np.dtype(_NARROW_DTYPE)
+    return np.dtype(_INDEX_DTYPE)
 
 
 class CSRGraph:
@@ -34,14 +51,28 @@ class CSRGraph:
         ``int64[n + 1]`` monotone array; out-edges of vertex ``u`` occupy
         ``indices[indptr[u]:indptr[u + 1]]``.
     indices:
-        ``int64[m]`` destination vertex ids.
+        ``uint32[m]`` or ``int64[m]`` destination vertex ids (see
+        ``index_dtype``).
     weights:
         optional ``float64[m]`` edge weights (used by SSSP).
     validate:
         when true (default) the invariants are checked up front.
+    index_dtype:
+        dtype of the stored ``indices`` array.  Defaults to the narrowest
+        dtype that holds every vertex id (``uint32`` below 2**32 vertices),
+        which halves edge-array bandwidth at paper scale; pass
+        ``np.int64`` explicitly to force wide indices.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "_reverse_cache", "_symmetrized_cache")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "uid",
+        "_reverse_cache",
+        "_symmetrized_cache",
+        "_digest",
+    )
 
     def __init__(
         self,
@@ -50,14 +81,32 @@ class CSRGraph:
         weights: Optional[np.ndarray] = None,
         *,
         validate: bool = True,
+        index_dtype: Optional[np.dtype] = None,
     ) -> None:
         self.indptr = np.ascontiguousarray(indptr, dtype=_INDEX_DTYPE)
-        self.indices = np.ascontiguousarray(indices, dtype=_INDEX_DTYPE)
+        if index_dtype is None:
+            index_dtype = index_dtype_for(max(self.indptr.size - 1, 0))
+        indices = np.asarray(indices)
+        if indices.size and indices.dtype != np.dtype(index_dtype):
+            # Guard the narrowing cast: a negative or overflowing id would
+            # silently wrap into a valid-looking uint32.
+            lo = indices.min()
+            hi = indices.max()
+            if lo < 0 or hi > np.iinfo(index_dtype).max:
+                raise GraphError(
+                    f"vertex ids [{lo}, {hi}] do not fit index dtype "
+                    f"{np.dtype(index_dtype).name}"
+                )
+        self.indices = np.ascontiguousarray(indices, dtype=index_dtype)
         self.weights = (
             None if weights is None else np.ascontiguousarray(weights, dtype=np.float64)
         )
+        #: Monotonically issued token; unlike ``id()`` it is never reused
+        #: after garbage collection, so caches may key on it safely.
+        self.uid = next(_uid_counter)
         self._reverse_cache: Optional["CSRGraph"] = None
         self._symmetrized_cache: Optional["CSRGraph"] = None
+        self._digest: Optional[str] = None
         if validate:
             self._validate()
 
@@ -158,6 +207,31 @@ class CSRGraph:
     def has_weights(self) -> bool:
         """Whether the graph carries per-edge weights."""
         return self.weights is not None
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Dtype of the stored edge-index array."""
+        return self.indices.dtype
+
+    @property
+    def digest(self) -> str:
+        """Content digest (structure + weights + index dtype), cached.
+
+        The index dtype is part of the digest: cached artifacts derived
+        from a graph (partitions, mirror tables) are keyed by this value,
+        and a uint32 and an int64 rendering of the same topology must not
+        collide into one cache slot.
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(np.int64(self.num_vertices).tobytes())
+            h.update(self.index_dtype.str.encode())
+            h.update(np.ascontiguousarray(self.indptr).tobytes())
+            h.update(np.ascontiguousarray(self.indices).tobytes())
+            if self.weights is not None:
+                h.update(np.ascontiguousarray(self.weights).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     @property
     def out_degrees(self) -> np.ndarray:

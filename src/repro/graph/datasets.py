@@ -30,8 +30,9 @@ from repro.utils.rng import SeedLike, ensure_rng
 
 #: Size tiers: log2 shift applied to the stand-in vertex counts.  ``tiny`` is
 #: for unit tests, ``small`` the default for examples/benches, ``medium`` for
-#: longer sweeps.
-TIER_SHIFT = {"tiny": -4, "small": 0, "medium": 2}
+#: longer sweeps, ``large`` for paper-scale runs (pair with a streaming
+#: ``--memory-budget`` to keep the engine's edge transients bounded).
+TIER_SHIFT = {"tiny": -4, "small": 0, "medium": 2, "large": 4}
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ drives memory-pool utilization.
 from __future__ import annotations
 
 import abc
+import itertools
 from dataclasses import dataclass
 from typing import Optional
 
@@ -18,6 +19,8 @@ import numpy as np
 from repro.errors import PartitionError
 from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike
+
+_uid_counter = itertools.count()
 
 
 class PartitionAssignment:
@@ -31,7 +34,7 @@ class PartitionAssignment:
         total part count (parts may be empty).
     """
 
-    __slots__ = ("parts", "num_parts", "_edge_parts_graph", "_edge_parts")
+    __slots__ = ("parts", "num_parts", "uid", "_edge_parts_graph", "_edge_parts")
 
     def __init__(self, parts: np.ndarray, num_parts: int) -> None:
         parts = np.ascontiguousarray(parts, dtype=np.int64)
@@ -46,6 +49,9 @@ class PartitionAssignment:
             )
         self.parts = parts
         self.num_parts = int(num_parts)
+        #: Monotonically issued token (never reused, unlike ``id()``);
+        #: structural caches key on it.
+        self.uid = next(_uid_counter)
         self._edge_parts_graph: Optional[CSRGraph] = None
         self._edge_parts: Optional[np.ndarray] = None
 

@@ -36,6 +36,12 @@ class SystemConfig:
     overlap_fraction:
         fraction of communication a hybrid execution model (GraphQ-style)
         can hide behind compute in the distributed-NDP timing model.
+    memory_budget_bytes:
+        soft cap on the engine's per-iteration edge transients.  When the
+        projected gather footprint exceeds it, the execute-once engine
+        streams edges in CSR-ordered blocks instead of materializing them
+        all at once; profiles and numerics are bit-identical either way.
+        ``None`` disables streaming.
     """
 
     num_compute_nodes: int = 1
@@ -48,6 +54,7 @@ class SystemConfig:
     switch_buffer_bytes: int = 64 * 1024 * 1024
     enable_inc: bool = False
     overlap_fraction: float = 0.8
+    memory_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_compute_nodes < 1:
@@ -70,6 +77,11 @@ class SystemConfig:
             raise ConfigError("enable_inc requires a switch_device")
         if self.switch_buffer_bytes < 0:
             raise ConfigError("switch_buffer_bytes must be >= 0")
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 1:
+            raise ConfigError(
+                f"memory_budget_bytes must be >= 1 when set, "
+                f"got {self.memory_budget_bytes}"
+            )
 
     # ------------------------------------------------------------------ #
 

@@ -19,6 +19,12 @@ _UNIT_FACTORS = {
     "mib": MiB,
     "gib": GiB,
     "tib": TiB,
+    # Bare single letters follow the CLI convention (ulimit, dd, qemu):
+    # binary factors, so ``--memory-budget 8G`` means 8 GiB.
+    "k": KiB,
+    "m": MiB,
+    "g": GiB,
+    "t": TiB,
 }
 
 _PARSE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)?\s*$")

@@ -74,6 +74,43 @@ class TestCacheUnit:
         frontier_structure(graph, frontier, other, cache=cache)
         assert (cache.hits, cache.misses) == (0, 2)
 
+    def test_fresh_equal_objects_miss(self, assigned):
+        # Graphs and assignments are keyed by monotonic uid tokens, not
+        # id(): a *different* object with equal content must miss even if
+        # CPython happens to reuse the dead object's memory address.
+        graph, assignment = assigned
+        cache = StructuralProfileCache()
+        frontier = np.arange(graph.num_vertices, dtype=np.int64)
+        frontier_structure(graph, frontier, assignment, cache=cache)
+
+        clone_assignment = HashPartitioner().partition(graph, 4, seed=0)
+        np.testing.assert_array_equal(clone_assignment.parts, assignment.parts)
+        assert clone_assignment.uid != assignment.uid
+        frontier_structure(graph, frontier, clone_assignment, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+
+        from repro.graph.csr import CSRGraph
+
+        clone_graph = CSRGraph(
+            graph.indptr.copy(), graph.indices.copy(), validate=False
+        )
+        assert clone_graph.uid != graph.uid
+        frontier_structure(clone_graph, frontier, clone_assignment, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 3)
+
+    def test_uid_reuse_regression(self, assigned):
+        # The historical failure mode: key by id(), free the object, and a
+        # newly allocated object at the same address replays a stale entry.
+        # uids are monotonic for the life of the process, so even thousands
+        # of allocate/free cycles can never produce a colliding key.
+        graph, _ = assigned
+        seen = set()
+        for _ in range(200):
+            a = HashPartitioner().partition(graph, 4, seed=0)
+            assert a.uid not in seen
+            seen.add(a.uid)
+            del a
+
     def test_stored_arrays_are_read_only(self, assigned):
         graph, assignment = assigned
         cache = StructuralProfileCache()

@@ -219,3 +219,69 @@ class TestDunder:
     def test_repr_marks_weighted(self):
         g = CSRGraph.from_edges([0], [1], 2, weights=[1.0])
         assert "weighted" in repr(g)
+
+
+class TestIndexDtype:
+    def test_narrow_dtype_by_default(self):
+        g = CSRGraph.from_edges([0, 1], [1, 2], 3)
+        assert g.index_dtype == np.dtype(np.uint32)
+        assert g.indices.dtype == np.dtype(np.uint32)
+        assert g.indptr.dtype == np.dtype(np.int64)  # offsets stay wide
+
+    def test_index_dtype_for_boundaries(self):
+        from repro.graph.csr import index_dtype_for
+
+        assert index_dtype_for(0) == np.dtype(np.uint32)
+        assert index_dtype_for(2**32 - 1) == np.dtype(np.uint32)
+        assert index_dtype_for(2**32) == np.dtype(np.int64)
+
+    def test_explicit_wide_dtype_preserved(self):
+        g = CSRGraph(
+            np.array([0, 1, 1], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            index_dtype=np.dtype(np.int64),
+        )
+        assert g.index_dtype == np.dtype(np.int64)
+
+    def test_narrowing_rejects_negative_index(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 1, 1], dtype=np.int64),
+                np.array([-1], dtype=np.int64),
+                validate=False,
+            )
+
+    def test_equality_across_dtypes(self):
+        narrow = CSRGraph.from_edges([0, 1], [1, 2], 3)
+        wide = CSRGraph(
+            narrow.indptr.copy(),
+            narrow.indices.astype(np.int64),
+            index_dtype=np.dtype(np.int64),
+        )
+        # Same topology: structural equality ignores the storage width.
+        assert narrow == wide
+
+    def test_digest_includes_dtype(self):
+        narrow = CSRGraph.from_edges([0, 1], [1, 2], 3)
+        wide = CSRGraph(
+            narrow.indptr.copy(),
+            narrow.indices.astype(np.int64),
+            index_dtype=np.dtype(np.int64),
+        )
+        assert narrow.digest != wide.digest
+        # But equal content + equal dtype => equal digest, cached.
+        again = CSRGraph.from_edges([0, 1], [1, 2], 3)
+        assert narrow.digest == again.digest
+
+    def test_uid_monotonic_and_unique(self):
+        a = CSRGraph.from_edges([0], [1], 2)
+        b = CSRGraph.from_edges([0], [1], 2)
+        assert b.uid > a.uid
+
+    def test_gather_promotes_to_int64(self):
+        # Downstream profiling relies on uint32 indices promoting to int64
+        # in arithmetic with int64 part ids.
+        g = CSRGraph.from_edges([0, 0, 1], [1, 2, 2], 3)
+        parts = np.zeros(3, dtype=np.int64)
+        keys = g.indices.astype(np.int64) * np.int64(4) + parts[:3]
+        assert keys.dtype == np.dtype(np.int64)

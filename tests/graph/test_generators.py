@@ -115,9 +115,11 @@ class TestBarabasiAlbert:
         pairs = set(zip(src.tolist(), dst.tolist()))
         assert len(pairs) == g.num_edges
 
-    # sha256[:16] of (indptr, indices) for fixed seeds.  The rejection-
-    # sampling attachment draw is part of the generator's contract now:
-    # a digest change here means every BA-derived experiment input moved.
+    # sha256[:16] of (indptr, indices-as-int64) for fixed seeds.  The
+    # rejection-sampling attachment draw is part of the generator's contract
+    # now: a digest change here means every BA-derived experiment input
+    # moved.  Indices are widened to int64 before hashing so the pin tracks
+    # the edge *values*, not the storage dtype CSRGraph happens to pick.
     PINNED = {
         (100, 3, 1): "4387209a54c8acc2",
         (500, 3, 2): "07bf364b4986426a",
@@ -129,7 +131,7 @@ class TestBarabasiAlbert:
 
         g = barabasi_albert(n, attach, seed=seed)
         digest = hashlib.sha256(
-            g.indptr.tobytes() + g.indices.tobytes()
+            g.indptr.tobytes() + g.indices.astype(np.int64).tobytes()
         ).hexdigest()[:16]
         assert digest == self.PINNED[(n, attach, seed)]
 
