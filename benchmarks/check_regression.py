@@ -13,11 +13,18 @@ The committed baseline is deliberately conservative (below typically
 measured values) so runner-to-runner noise does not trip the gate; a real
 algorithmic regression overshoots 20% by an order of magnitude.
 
+A second gate covers the observability layer: the ``noop_tracer_overhead``
+section (benchmarks/test_obs_bench.py) must report a disabled-tracer
+engine overhead of at most 2%.  ``--only`` selects which gates run:
+``engine`` and ``obs`` each require their section; the default ``all``
+requires the engine section and checks the obs one when present.
+
 Usage::
 
     python benchmarks/check_regression.py \\
         [--current benchmarks/out/BENCH_engine.json] \\
-        [--baseline benchmarks/baseline/BENCH_engine.medium.json]
+        [--baseline benchmarks/baseline/BENCH_engine.medium.json] \\
+        [--only {all,engine,obs}]
 """
 
 from __future__ import annotations
@@ -30,6 +37,11 @@ from pathlib import Path
 SECTION = "profile_throughput_medium"
 METRIC = "speedup"
 MAX_DROP = 0.20
+
+#: Optional gate: disabled-tracer engine overhead (benchmarks/test_obs_bench.py).
+OBS_SECTION = "noop_tracer_overhead"
+OBS_METRIC = "overhead_pct"
+OBS_MAX_PCT = 2.0
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -46,6 +58,13 @@ def main(argv=None) -> int:
             REPO_ROOT / "benchmarks" / "baseline" / "BENCH_engine.medium.json"
         ),
     )
+    parser.add_argument(
+        "--only",
+        choices=("all", "engine", "obs"),
+        default="all",
+        help="which gates to enforce (default: engine required, obs "
+        "checked when its section is present)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -53,35 +72,61 @@ def main(argv=None) -> int:
     except FileNotFoundError:
         print(
             f"bench-regression: {args.current} missing — run the micro "
-            "benches first (pytest benchmarks/test_micro_bench.py)",
+            "benches first (pytest benchmarks/test_micro_bench.py or "
+            "benchmarks/test_obs_bench.py)",
             file=sys.stderr,
         )
         return 2
-    baseline_doc = json.loads(Path(args.baseline).read_text())
 
-    if SECTION not in current_doc:
+    if args.only in ("all", "engine"):
+        baseline_doc = json.loads(Path(args.baseline).read_text())
+        if SECTION not in current_doc:
+            print(
+                f"bench-regression: section {SECTION!r} missing from "
+                f"{args.current}",
+                file=sys.stderr,
+            )
+            return 2
+        current = float(current_doc[SECTION][METRIC])
+        baseline = float(baseline_doc[SECTION][METRIC])
+        floor = baseline * (1.0 - MAX_DROP)
+
         print(
-            f"bench-regression: section {SECTION!r} missing from "
-            f"{args.current}",
+            f"bench-regression: {SECTION}.{METRIC} = {current:.2f} "
+            f"(baseline {baseline:.2f}, floor {floor:.2f})"
+        )
+        if current < floor:
+            drop = 100.0 * (1.0 - current / baseline)
+            print(
+                f"bench-regression: FAIL — throughput dropped {drop:.1f}% "
+                f"(> {MAX_DROP:.0%}) vs the committed baseline",
+                file=sys.stderr,
+            )
+            return 1
+
+    if args.only == "obs" and OBS_SECTION not in current_doc:
+        print(
+            f"bench-regression: section {OBS_SECTION!r} missing from "
+            f"{args.current} — run pytest benchmarks/test_obs_bench.py",
             file=sys.stderr,
         )
         return 2
-    current = float(current_doc[SECTION][METRIC])
-    baseline = float(baseline_doc[SECTION][METRIC])
-    floor = baseline * (1.0 - MAX_DROP)
-
-    print(
-        f"bench-regression: {SECTION}.{METRIC} = {current:.2f} "
-        f"(baseline {baseline:.2f}, floor {floor:.2f})"
-    )
-    if current < floor:
-        drop = 100.0 * (1.0 - current / baseline)
+    # With --only all the obs gate is advisory-by-presence: the engine
+    # benches alone don't emit the section, so it is checked when there.
+    if args.only in ("all", "obs") and OBS_SECTION in current_doc:
+        overhead = float(current_doc[OBS_SECTION][OBS_METRIC])
         print(
-            f"bench-regression: FAIL — throughput dropped {drop:.1f}% "
-            f"(> {MAX_DROP:.0%}) vs the committed baseline",
-            file=sys.stderr,
+            f"bench-regression: {OBS_SECTION}.{OBS_METRIC} = "
+            f"{overhead:.2f}% (max {OBS_MAX_PCT:.0f}%)"
         )
-        return 1
+        if overhead > OBS_MAX_PCT:
+            print(
+                f"bench-regression: FAIL — disabled-tracer overhead "
+                f"{overhead:.2f}% exceeds {OBS_MAX_PCT:.0f}%",
+                file=sys.stderr,
+            )
+            return 1
+
     print("bench-regression: OK")
     return 0
 

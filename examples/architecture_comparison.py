@@ -11,7 +11,8 @@ Run:  python examples/architecture_comparison.py [dataset]
 
 import sys
 
-from repro import PageRank, SystemConfig, compare_architectures, load_dataset
+from repro import PageRank, SystemConfig, load_dataset
+from repro.arch import compare_architectures
 from repro.hardware import CXL_CMS, HOST_XEON
 from repro.runtime.provision import (
     provision_coupled,

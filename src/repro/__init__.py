@@ -8,7 +8,18 @@ simulators for the four Table II system architectures, the offload/
 aggregation runtime mechanisms of Section IV, and a harness regenerating
 every table and figure.
 
-Quickstart::
+Quickstart — the stable facade (one keyword-only call per workflow)::
+
+    import repro
+
+    result = repro.run(dataset="livejournal-sim", kernel="pagerank",
+                       architecture="disaggregated-ndp", tier="tiny")
+    print(result.summary_table())
+
+    comparison = repro.compare(dataset="twitter-sim", kernel="bfs",
+                               tier="tiny")
+
+Or assemble the pieces yourself::
 
     from repro import load_dataset, PageRank, DisaggregatedNDPSimulator
 
@@ -47,7 +58,6 @@ from repro.graph import (
     compute_stats,
     erdos_renyi,
     list_datasets,
-    load_dataset,
     rmat,
 )
 from repro.partition import (
@@ -87,13 +97,20 @@ from repro.arch import (
     DistributedSimulator,
     ExecutionTrace,
     RunResult,
-    compare_architectures,
     estimate_run_energy,
     get_architecture,
     list_architectures,
     record_trace,
 )
-from repro.api import vertex_program
+from repro.api import (
+    RunSpec,
+    compare,
+    load_dataset,
+    partition,
+    run,
+    sweep,
+    vertex_program,
+)
 from repro.runtime import (
     AlwaysOffload,
     DynamicCostPolicy,
@@ -107,10 +124,36 @@ from repro.runtime import (
     get_policy,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    # Deprecated access paths kept importable one release: the facade's
+    # repro.compare() replaced the eager compare_architectures re-export.
+    if name == "compare_architectures":
+        import warnings
+
+        warnings.warn(
+            "repro.compare_architectures is deprecated; use repro.compare() "
+            "or import it from repro.arch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.arch import compare_architectures
+
+        return compare_architectures
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "__version__",
+    # facade
+    "RunSpec",
+    "run",
+    "compare",
+    "sweep",
+    "load_dataset",
+    "partition",
     # errors
     "ReproError",
     "GraphError",
@@ -137,7 +180,6 @@ __all__ = [
     "rmat",
     "erdos_renyi",
     "barabasi_albert",
-    "load_dataset",
     "list_datasets",
     "compute_stats",
     # partition

@@ -1,12 +1,34 @@
-"""User-facing programming API for custom graph kernels.
+"""Stable public API facade: specs, one-call entry points, and the DSL.
+
+This module is the supported programmatic surface of the package.  Two
+layers live here:
+
+* **Facade functions** — :func:`run`, :func:`compare`, :func:`sweep`,
+  :func:`load_dataset`, :func:`partition` — one keyword-only call each
+  for the workflows the CLIs expose, all driven by names (dataset,
+  kernel, architecture, partitioner) so callers never import simulator
+  classes.  :class:`RunSpec` is the frozen value object describing one
+  workload; every facade function accepts either a spec or the same
+  fields as keywords.
+* **Kernel DSL** — :func:`vertex_program` builds a fully-featured
+  :class:`~repro.kernels.base.VertexProgram` from three plain functions.
 
 Section IV.A: "simply providing a programming API to specify the different
 types of operations (i.e., traverse vs. apply) is not sufficient" — but it
-is *necessary*.  This module is that API: :func:`vertex_program` builds a
-fully-featured :class:`~repro.kernels.base.VertexProgram` from three plain
-functions (init / traverse / apply) plus wire-format and capability
-annotations, so custom analytics run through every architecture simulator,
-offload policy, and capability check without subclassing.
+is *necessary*.  :func:`vertex_program` is that API: custom analytics run
+through every architecture simulator, offload policy, and capability
+check without subclassing.
+
+Example — one call per workflow::
+
+    import repro
+
+    result = repro.run(dataset="livejournal-sim", kernel="pagerank",
+                       architecture="disaggregated-ndp", tier="tiny")
+    table = repro.compare(dataset="livejournal-sim", kernel="bfs",
+                          tier="tiny")
+    graph, spec = repro.load_dataset("twitter7-sim", tier="tiny")
+    assignment = repro.partition(graph, num_parts=8, partitioner="ldg")
 
 Example — out-neighbor weighted degree::
 
@@ -45,11 +67,12 @@ numerics::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import KernelError
+from repro.errors import ConfigError, KernelError
 from repro.graph.csr import CSRGraph
 from repro.arch.trace import ExecutionTrace, record_trace
 from repro.kernels.base import (
@@ -60,6 +83,12 @@ from repro.kernels.base import (
 )
 
 __all__ = [
+    "RunSpec",
+    "run",
+    "compare",
+    "sweep",
+    "load_dataset",
+    "partition",
     "vertex_program",
     "ExecutionTrace",
     "record_trace",
@@ -68,6 +97,242 @@ __all__ = [
     "MessageSpec",
     "VertexProgram",
 ]
+
+# --------------------------------------------------------------------------- #
+# Facade: RunSpec + one-call workflows
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunSpec:
+    """Frozen description of one workload — the facade's value object.
+
+    Every field is a plain name or number, so specs serialize trivially
+    and two equal specs describe bit-identical runs.  ``replace(spec,
+    kernel="bfs")`` derives variants the usual dataclass way.
+    """
+
+    dataset: str = "livejournal-sim"
+    kernel: str = "pagerank"
+    architecture: str = "disaggregated-ndp"
+    tier: str = "small"
+    seed: int = 7
+    scale_shift: int = 0
+    partitions: int = 8
+    partitioner: Optional[str] = None
+    policy: Optional[str] = None
+    source: Optional[int] = None
+    max_iterations: Optional[int] = None
+    memory_budget_bytes: Optional[int] = None
+    fault_seed: Optional[int] = None
+    replication_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise ConfigError(f"partitions must be >= 1, got {self.partitions}")
+        if self.replication_factor < 1:
+            raise ConfigError(
+                "replication_factor must be >= 1, got "
+                f"{self.replication_factor}"
+            )
+
+
+_SPEC_FIELDS = frozenset(f.name for f in fields(RunSpec))
+
+
+def _resolve_spec(spec: Optional[RunSpec], overrides: Dict[str, Any]) -> RunSpec:
+    unknown = set(overrides) - _SPEC_FIELDS
+    if unknown:
+        raise ConfigError(
+            f"unknown RunSpec field(s) {sorted(unknown)}; "
+            f"valid fields: {sorted(_SPEC_FIELDS)}"
+        )
+    if spec is None:
+        return RunSpec(**overrides)
+    if not isinstance(spec, RunSpec):
+        raise ConfigError(f"spec must be a RunSpec, got {type(spec).__name__}")
+    return replace(spec, **overrides) if overrides else spec
+
+
+def _spec_workload(spec: RunSpec):
+    """Load the graph and instantiate the named pieces a spec describes."""
+    from repro.kernels.registry import get_kernel
+    from repro.partition.registry import get_partitioner
+
+    graph, ds = load_dataset(
+        spec.dataset,
+        tier=spec.tier,
+        seed=spec.seed,
+        scale_shift=spec.scale_shift,
+    )
+    kernel = get_kernel(spec.kernel)
+    chooser = (
+        get_partitioner(spec.partitioner) if spec.partitioner is not None else None
+    )
+    source = spec.source
+    if source is None and kernel.needs_source:
+        source = int(graph.out_degrees.argmax())
+    return graph, ds, kernel, chooser, source
+
+
+def _spec_faults(spec: RunSpec):
+    from repro.faults.schedule import FaultSchedule, FaultSpec
+
+    if spec.fault_seed is None:
+        return None
+    return FaultSchedule.from_spec(
+        FaultSpec.standard(
+            seed=spec.fault_seed,
+            num_parts=spec.partitions,
+            replication_factor=spec.replication_factor,
+        )
+    )
+
+
+def run(spec: Optional[RunSpec] = None, **overrides: Any):
+    """Run one workload on one architecture; returns a ``RunResult``.
+
+    Accepts a :class:`RunSpec`, keyword overrides, or both (overrides win)::
+
+        result = repro.run(dataset="twitter7-sim", kernel="bfs", tier="tiny")
+        result = repro.run(spec, architecture="distributed-ndp")
+
+    The active tracer (see :mod:`repro.obs`) instruments the run when one
+    is installed; otherwise tracing costs nothing.
+    """
+    from repro.arch.registry import get_architecture
+    from repro.runtime.config import SystemConfig
+    from repro.runtime.offload import get_policy
+
+    spec = _resolve_spec(spec, overrides)
+    graph, ds, kernel, chooser, source = _spec_workload(spec)
+    config = SystemConfig(
+        num_memory_nodes=spec.partitions,
+        memory_budget_bytes=spec.memory_budget_bytes,
+    )
+    kwargs: Dict[str, Any] = {}
+    if spec.policy is not None:
+        kwargs["policy"] = get_policy(spec.policy)
+    simulator = get_architecture(spec.architecture, config, **kwargs)
+    return simulator.run(
+        graph,
+        kernel,
+        partitioner=chooser,
+        source=source,
+        max_iterations=spec.max_iterations,
+        graph_name=ds.name,
+        seed=spec.seed,
+        faults=_spec_faults(spec),
+    )
+
+
+def compare(spec: Optional[RunSpec] = None, **overrides: Any):
+    """Run all four architectures on one workload (Table II / Fig. 7 rows).
+
+    Returns an ``ArchitectureComparison``; the workload executes once and
+    is replayed through every simulator's accounting pass.  The spec's
+    ``architecture`` and ``policy`` fields are ignored — a comparison
+    always covers all four deployments.
+    """
+    from repro.arch.compare import compare_architectures
+    from repro.runtime.config import SystemConfig
+
+    spec = _resolve_spec(spec, overrides)
+    graph, ds, kernel, chooser, source = _spec_workload(spec)
+    config = SystemConfig(
+        num_memory_nodes=spec.partitions,
+        memory_budget_bytes=spec.memory_budget_bytes,
+    )
+    return compare_architectures(
+        graph,
+        kernel,
+        config=config,
+        partitioner=chooser,
+        source=source,
+        max_iterations=spec.max_iterations,
+        graph_name=ds.name,
+        seed=spec.seed,
+        faults=_spec_faults(spec),
+    )
+
+
+def sweep(
+    tasks: Optional[Sequence[Any]] = None,
+    *,
+    tier: str = "small",
+    seed: int = 7,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    keep_going: bool = False,
+    memory_budget_bytes: Optional[int] = None,
+    fault_seed: Optional[int] = None,
+):
+    """Run a multi-workload sweep; returns an ``ExperimentResult``.
+
+    ``tasks`` is a sequence of :class:`~repro.experiments.sweep.SweepTask`
+    (default: the Fig. 7 panel set).  ``jobs > 1`` fans out over worker
+    processes sharing the CSR arrays; when a tracer is active the workers'
+    span batches are stitched into the parent timeline.
+    """
+    from repro.experiments import sweep as sweep_mod
+
+    return sweep_mod.run(
+        tier=tier,
+        seed=seed,
+        jobs=jobs,
+        tasks=tasks,
+        timeout=timeout,
+        retries=retries,
+        keep_going=keep_going,
+        memory_budget_bytes=memory_budget_bytes,
+        fault_seed=fault_seed,
+    )
+
+
+def load_dataset(
+    name: str,
+    *,
+    tier: str = "small",
+    seed: Any = 7,
+    scale_shift: int = 0,
+    cache: bool = True,
+):
+    """Load a stand-in dataset; returns ``(graph, dataset_spec)``.
+
+    Goes through the content-addressed artifact cache when one is active
+    (``cache=False`` bypasses it for this call only).
+    """
+    if cache:
+        from repro.cache import load_dataset_cached
+
+        return load_dataset_cached(
+            name, tier=tier, seed=seed, scale_shift=scale_shift
+        )
+    from repro.graph.datasets import load_dataset as load_uncached
+
+    return load_uncached(name, tier=tier, seed=seed, scale_shift=scale_shift)
+
+
+def partition(
+    graph: CSRGraph,
+    *,
+    num_parts: int,
+    partitioner: str = "hash",
+    seed: int = 0,
+    **params: Any,
+):
+    """Partition a graph by partitioner name; returns a ``PartitionAssignment``.
+
+    Extra keyword arguments are forwarded to the partitioner constructor
+    (e.g. ``repro.partition(g, num_parts=8, partitioner="ldg", slack=0.1)``).
+    """
+    from repro.partition.registry import get_partitioner
+
+    return get_partitioner(partitioner, **params).partition(
+        graph, num_parts, seed=seed
+    )
+
 
 InitFn = Callable[[CSRGraph, Optional[int]], Dict]
 TraverseFn = Callable[[KernelState, np.ndarray, np.ndarray, np.ndarray], np.ndarray]

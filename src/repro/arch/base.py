@@ -10,12 +10,21 @@ its architecture's placement rules.  Subclasses implement a single hook,
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import FaultError, RecoveryError, SimulationError
+from repro.obs.metrics import METRICS, M
+from repro.obs.span import (
+    CATEGORY_ITERATION,
+    CATEGORY_PHASE,
+    CATEGORY_RUN,
+    NOOP_TRACER,
+    get_tracer,
+)
 from repro.faults.checkpoint import CheckpointPolicy
 from repro.faults.events import FaultEvent, FaultKind
 from repro.faults.recovery import FaultRuntime, FaultsLike, as_schedule
@@ -53,6 +62,9 @@ class RunContext:
     result: RunResult
     #: per-run fault state; ``None`` on the (bit-identical) fault-free path
     faults: Optional[FaultRuntime] = None
+    #: active span tracer (the disabled :data:`NOOP_TRACER` by default);
+    #: accounting hooks may emit phase spans/events through it
+    tracer: Any = field(default=NOOP_TRACER)
 
 
 class ArchitectureSimulator(abc.ABC):
@@ -140,6 +152,8 @@ class ArchitectureSimulator(abc.ABC):
             num_compute_nodes=self.num_compute_nodes(),
             kernel_program=kernel,
         )
+        tracer = get_tracer()
+        traced = tracer.enabled
         ctx = RunContext(
             graph=prepared,
             kernel=kernel,
@@ -150,6 +164,7 @@ class ArchitectureSimulator(abc.ABC):
             config=self.config,
             result=result,
             faults=self._fault_runtime(faults, checkpoint, num_parts),
+            tracer=tracer,
         )
 
         state = kernel.initial_state(prepared, source=source)
@@ -158,33 +173,93 @@ class ArchitectureSimulator(abc.ABC):
         telemetry = EngineTelemetry()
         self._on_run_start(ctx, state)
 
-        for _ in range(cap):
-            if state.frontier.size == 0:
-                result.converged = True
-                break
-            profile = execute_iteration(
-                kernel,
-                state,
-                assignment,
-                mirrors_per_vertex=mirrors_per_vertex,
-                cache=cache,
-                memory_budget_bytes=self.config.memory_budget_bytes,
-                telemetry=telemetry,
+        run_cm = (
+            tracer.span(
+                "run",
+                category=CATEGORY_RUN,
+                architecture=self.name,
+                kernel=kernel.name,
+                graph=graph_name,
+                parts=num_parts,
+                mode="run",
             )
-            stats = self._account_iteration(profile, ctx)
-            result.iterations.append(stats)
-            if kernel.has_converged(state):
-                result.converged = True
-                break
+            if traced
+            else nullcontext()
+        )
+        with run_cm as run_span:
+            for _ in range(cap):
+                if state.frontier.size == 0:
+                    result.converged = True
+                    break
+                if traced:
+                    with tracer.span(
+                        "iteration", category=CATEGORY_ITERATION
+                    ) as it_span:
+                        profile = execute_iteration(
+                            kernel,
+                            state,
+                            assignment,
+                            mirrors_per_vertex=mirrors_per_vertex,
+                            cache=cache,
+                            memory_budget_bytes=self.config.memory_budget_bytes,
+                            telemetry=telemetry,
+                            tracer=tracer,
+                        )
+                        stats = self._account_iteration(profile, ctx)
+                        self._annotate_iteration_span(it_span, stats)
+                else:
+                    profile = execute_iteration(
+                        kernel,
+                        state,
+                        assignment,
+                        mirrors_per_vertex=mirrors_per_vertex,
+                        cache=cache,
+                        memory_budget_bytes=self.config.memory_budget_bytes,
+                        telemetry=telemetry,
+                    )
+                    stats = self._account_iteration(profile, ctx)
+                result.iterations.append(stats)
+                if kernel.has_converged(state):
+                    result.converged = True
+                    break
+            if traced:
+                self._annotate_run_span(run_span, result)
 
         counters = result.counters
-        counters.add("engine-peak-tracked-bytes", telemetry.peak_tracked_bytes)
-        counters.add("engine-edge-blocks", telemetry.edge_blocks)
-        counters.add("engine-streamed-iterations", telemetry.streamed_iterations)
+        counters.add(M.ENGINE_PEAK_TRACKED_BYTES, telemetry.peak_tracked_bytes)
+        counters.add(M.ENGINE_EDGE_BLOCKS, telemetry.edge_blocks)
+        counters.add(M.ENGINE_STREAMED_ITERATIONS, telemetry.streamed_iterations)
 
         state.converged = result.converged
         result.final_state = state
         return result
+
+    def _annotate_iteration_span(self, span, stats: IterationStats) -> None:
+        """Attach the accounting facts to a finished iteration's span."""
+        span.set_attrs(
+            iteration=stats.iteration,
+            architecture=self.name,
+            frontier_size=stats.frontier_size,
+            edges=stats.edges_traversed,
+            offloaded=stats.offloaded,
+            host_link_bytes=stats.host_link_bytes,
+            network_bytes=stats.network_bytes,
+            recovery_bytes=stats.recovery_bytes,
+            bytes_by_phase=dict(stats.bytes_by_phase),
+            modeled_seconds=stats.iteration_seconds,
+        )
+        METRICS.histogram(M.ITERATION_SECONDS).observe(stats.iteration_seconds)
+
+    def _annotate_run_span(self, span, result: RunResult) -> None:
+        """Attach whole-run totals to the run span."""
+        span.set_attrs(
+            iterations=result.num_iterations,
+            converged=result.converged,
+            total_host_link_bytes=result.total_host_link_bytes,
+            total_network_bytes=result.total_network_bytes,
+            total_recovery_bytes=result.total_recovery_bytes,
+            modeled_seconds=result.total_seconds,
+        )
 
     def replay(
         self,
@@ -230,6 +305,8 @@ class ArchitectureSimulator(abc.ABC):
             num_compute_nodes=self.num_compute_nodes(),
             kernel_program=kernel,
         )
+        tracer = get_tracer()
+        traced = tracer.enabled
         ctx = RunContext(
             graph=trace.graph,
             kernel=kernel,
@@ -242,14 +319,39 @@ class ArchitectureSimulator(abc.ABC):
             config=self.config,
             result=result,
             faults=self._fault_runtime(faults, checkpoint, num_parts),
+            tracer=tracer,
         )
         self._on_run_start(ctx, trace.final_state)
-        for profile in trace.profiles:
-            result.iterations.append(self._account_iteration(profile, ctx))
+        run_cm = (
+            tracer.span(
+                "run",
+                category=CATEGORY_RUN,
+                architecture=self.name,
+                kernel=kernel.name,
+                graph=result.graph_name,
+                parts=num_parts,
+                mode="replay",
+            )
+            if traced
+            else nullcontext()
+        )
+        with run_cm as run_span:
+            for profile in trace.profiles:
+                if traced:
+                    with tracer.span(
+                        "iteration", category=CATEGORY_ITERATION
+                    ) as it_span:
+                        stats = self._account_iteration(profile, ctx)
+                        self._annotate_iteration_span(it_span, stats)
+                else:
+                    stats = self._account_iteration(profile, ctx)
+                result.iterations.append(stats)
+            if traced:
+                self._annotate_run_span(run_span, result)
         counters = result.counters
-        counters.add("engine-peak-tracked-bytes", trace.peak_tracked_bytes)
-        counters.add("engine-edge-blocks", trace.edge_blocks)
-        counters.add("engine-streamed-iterations", trace.streamed_iterations)
+        counters.add(M.ENGINE_PEAK_TRACKED_BYTES, trace.peak_tracked_bytes)
+        counters.add(M.ENGINE_EDGE_BLOCKS, trace.edge_blocks)
+        counters.add(M.ENGINE_STREAMED_ITERATIONS, trace.streamed_iterations)
         result.converged = trace.converged
         result.final_state = trace.final_state
         return result
@@ -304,12 +406,20 @@ class ArchitectureSimulator(abc.ABC):
 
         events = runtime.begin_iteration(profile.iteration)
         counters = ctx.result.counters
+        tracer = ctx.tracer
+        recover_span = (
+            tracer.span(
+                "recover", category=CATEGORY_PHASE, fault_events=len(events)
+            )
+            if events and tracer.enabled
+            else None
+        )
         phases: Dict[str, int] = {}
         host_extra = 0
         network_extra = 0
         recovery_seconds = 0.0
         for event in events:
-            counters.add("fault-events")
+            counters.add(M.FAULT_EVENTS)
             fatal = event.kind is FaultKind.MEMORY_NODE_CRASH or (
                 event.kind is FaultKind.NDP_DEVICE_FAILURE
                 and self.ndp_failure_is_fatal
@@ -323,9 +433,11 @@ class ArchitectureSimulator(abc.ABC):
                 # Device-down window is tracked by the runtime; the offload
                 # path consults it and falls back to host fetch (see
                 # DisaggregatedNDPSimulator._account).
-                counters.add("fault-ndp-failures")
+                counters.add(M.FAULT_NDP_FAILURES)
             elif event.kind is FaultKind.LINK_DEGRADATION:
-                counters.add("fault-link-degradations")
+                counters.add(M.FAULT_LINK_DEGRADATIONS)
+        if recover_span is not None:
+            recover_span.finish()
 
         if runtime.tracks_link_health:
             # Rebuild link state from the active windows every iteration so
@@ -341,7 +453,7 @@ class ArchitectureSimulator(abc.ABC):
         for event in events:
             if event.kind is not FaultKind.MESSAGE_DROP:
                 continue
-            counters.add("fault-message-drops")
+            counters.add(M.FAULT_MESSAGE_DROPS)
             lost = int(np.ceil(event.drop_fraction * stats.host_link_bytes))
             if lost:
                 ctx.result.ledger.record(
@@ -350,7 +462,7 @@ class ArchitectureSimulator(abc.ABC):
                 phases["recovery-retransmit"] = (
                     phases.get("recovery-retransmit", 0) + lost
                 )
-                counters.add("recovery-retransmitted-bytes", lost)
+                counters.add(M.RECOVERY_RETRANSMITTED_BYTES, lost)
                 host_extra += lost
                 network_extra += lost
                 recovery_seconds += ctx.topology.host_link.transfer_seconds(
@@ -367,8 +479,8 @@ class ArchitectureSimulator(abc.ABC):
                 "checkpoint", LinkClass.HOST_LINK, ck_bytes, 1
             )
             phases["checkpoint"] = phases.get("checkpoint", 0) + ck_bytes
-            counters.add("checkpoint-count")
-            counters.add("checkpoint-bytes", ck_bytes)
+            counters.add(M.CHECKPOINT_COUNT)
+            counters.add(M.CHECKPOINT_BYTES, ck_bytes)
             host_extra += ck_bytes
             network_extra += ck_bytes
             recovery_seconds += ctx.topology.host_link.transfer_seconds(
@@ -377,12 +489,29 @@ class ArchitectureSimulator(abc.ABC):
 
         if not phases and recovery_seconds == 0.0:
             return stats
+        recovery_bytes = sum(phases.values())
+        if recover_span is not None:
+            # The span closed before accounting ran; attributes are read at
+            # export time, so attaching the final byte totals here is safe.
+            recover_span.set_attrs(
+                recovery_bytes=recovery_bytes,
+                recovery_seconds=recovery_seconds,
+            )
+        elif tracer.enabled:
+            # Checkpoint- or drop-only boundary (no fault events): instant.
+            tracer.event(
+                "recover",
+                category=CATEGORY_PHASE,
+                fault_events=0,
+                recovery_bytes=recovery_bytes,
+                recovery_seconds=recovery_seconds,
+            )
         return replace(
             stats,
             host_link_bytes=stats.host_link_bytes + host_extra,
             network_bytes=stats.network_bytes + network_extra,
             bytes_by_phase={**stats.bytes_by_phase, **phases},
-            recovery_bytes=stats.recovery_bytes + sum(phases.values()),
+            recovery_bytes=stats.recovery_bytes + recovery_bytes,
             recovery_seconds=stats.recovery_seconds + recovery_seconds,
         )
 
@@ -426,7 +555,7 @@ class ArchitectureSimulator(abc.ABC):
             runtime.set_shard_bytes(self._shard_wire_bytes(ctx))
         shard = runtime.shard_bytes_of(event.part)
         shard += self._crash_extra_state_bytes(event, ctx)
-        counters.add("fault-memory-crashes")
+        counters.add(M.FAULT_MEMORY_CRASHES)
 
         if runtime.schedule.replication_factor >= 2:
             if ctx.assignment.num_parts < 2:
@@ -443,7 +572,7 @@ class ArchitectureSimulator(abc.ABC):
             phases["recovery-rereplicate"] = (
                 phases.get("recovery-rereplicate", 0) + shard
             )
-            counters.add("recovery-rereplicated-bytes", shard)
+            counters.add(M.RECOVERY_REREPLICATED_BYTES, shard)
             seconds = link.transfer_seconds(float(shard), 1)
             host_delta = (
                 shard if self.recovery_link_class is LinkClass.HOST_LINK else 0
@@ -454,7 +583,7 @@ class ArchitectureSimulator(abc.ABC):
             # the modeled system; what crosses it is the push back down.
             ledger.record("recovery-rebuild", LinkClass.HOST_LINK, shard, 1)
             phases["recovery-rebuild"] = phases.get("recovery-rebuild", 0) + shard
-            counters.add("recovery-rebuilt-bytes", shard)
+            counters.add(M.RECOVERY_REBUILT_BYTES, shard)
             seconds = topo.host_link.transfer_seconds(float(shard), 1)
             host_delta = shard
             network_delta = shard

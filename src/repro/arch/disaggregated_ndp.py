@@ -27,6 +27,8 @@ from repro.errors import ConfigError
 from repro.hardware.capabilities import check_offload
 from repro.kernels.base import VERTEX_ID_BYTES
 from repro.net.link import LinkClass
+from repro.obs.metrics import M
+from repro.obs.span import CATEGORY_PHASE
 from repro.runtime.config import SystemConfig
 from repro.runtime.cost_model import edge_record_bytes, frontier_push_bytes
 from repro.runtime.offload import AlwaysOffload, IterationOutlook, OffloadPolicy
@@ -71,7 +73,7 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
         else:
             mask = np.asarray(mask, dtype=bool)
         if mask.any() and not capability.allowed:
-            ctx.result.counters.add("offload-denied-capability")
+            ctx.result.counters.add(M.OFFLOAD_DENIED_CAPABILITY)
             mask = np.zeros_like(mask)
         if ctx.faults is not None:
             # Graceful degradation: shards whose NDP device is down fall
@@ -80,7 +82,7 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
             down = ctx.faults.ndp_down_mask(profile.iteration)
             denied = mask & down
             if denied.any():
-                ctx.result.counters.add("offload-denied-fault", int(denied.sum()))
+                ctx.result.counters.add(M.OFFLOAD_DENIED_FAULT, int(denied.sum()))
                 mask = mask & ~down
 
         # Feed the realized counts back to adaptive policies (a real runtime
@@ -91,12 +93,12 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
             distinct_destinations=profile.distinct_destinations,
         )
         if not mask.any():
-            ctx.result.counters.add("iterations-fetch")
+            ctx.result.counters.add(M.ITERATIONS_FETCH)
             return self._account_fetch(profile, ctx, offloaded=False)
         if mask.all():
-            ctx.result.counters.add("iterations-offload")
+            ctx.result.counters.add(M.ITERATIONS_OFFLOAD)
             return self._account_offload(profile, ctx, inc_enabled=inc_enabled)
-        ctx.result.counters.add("iterations-mixed")
+        ctx.result.counters.add(M.ITERATIONS_MIXED)
         return self._account_mixed(profile, ctx, mask, inc_enabled=inc_enabled)
 
     # ------------------------------------------------------------------ #
@@ -162,12 +164,29 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
         partial_bytes = wire * profile.partial_update_pairs
         inc_ops = 0.0
         if inc_enabled and topo.switch is not None:
-            outcome = topo.switch.aggregate(
-                profile.partials_per_part,
-                profile.updates_per_destination,
-                profile.distinct_destinations,
-                wire,
-            )
+            if ctx.tracer.enabled:
+                with ctx.tracer.span(
+                    "aggregate", category=CATEGORY_PHASE
+                ) as agg_span:
+                    outcome = topo.switch.aggregate(
+                        profile.partials_per_part,
+                        profile.updates_per_destination,
+                        profile.distinct_destinations,
+                        wire,
+                    )
+                    agg_span.set_attrs(
+                        updates_in=outcome.updates_in,
+                        updates_out=outcome.updates_out,
+                        bytes_in=outcome.bytes_in,
+                        bytes_out=outcome.bytes_out,
+                    )
+            else:
+                outcome = topo.switch.aggregate(
+                    profile.partials_per_part,
+                    profile.updates_per_destination,
+                    profile.distinct_destinations,
+                    wire,
+                )
             ledger.record(
                 "apply-fanin",
                 LinkClass.MEMORY_LINK,
@@ -179,8 +198,8 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
             bytes_by_phase["apply"] = outcome.bytes_out
             apply_in_bytes = outcome.bytes_out
             inc_ops = outcome.reduction_ops
-            ctx.result.counters.add("inc-merged-updates", outcome.updates_in - outcome.updates_out)
-            ctx.result.counters.add("inc-passthrough-updates", outcome.passthrough_updates)
+            ctx.result.counters.add(M.INC_MERGED_UPDATES, outcome.updates_in - outcome.updates_out)
+            ctx.result.counters.add(M.INC_PASSTHROUGH_UPDATES, outcome.passthrough_updates)
         else:
             ledger.record("apply", LinkClass.HOST_LINK, partial_bytes, active_parts)
             bytes_by_phase["apply"] = partial_bytes
@@ -285,12 +304,29 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
         if inc_enabled and topo.switch is not None and off_pairs:
             off_dst = profile.pair_dst[pair_offloaded]
             _, off_fanin = np.unique(off_dst, return_counts=True)
-            outcome = topo.switch.aggregate(
-                profile.partials_per_part[mask],
-                off_fanin,
-                int(off_fanin.size),
-                wire,
-            )
+            if ctx.tracer.enabled:
+                with ctx.tracer.span(
+                    "aggregate", category=CATEGORY_PHASE
+                ) as agg_span:
+                    outcome = topo.switch.aggregate(
+                        profile.partials_per_part[mask],
+                        off_fanin,
+                        int(off_fanin.size),
+                        wire,
+                    )
+                    agg_span.set_attrs(
+                        updates_in=outcome.updates_in,
+                        updates_out=outcome.updates_out,
+                        bytes_in=outcome.bytes_in,
+                        bytes_out=outcome.bytes_out,
+                    )
+            else:
+                outcome = topo.switch.aggregate(
+                    profile.partials_per_part[mask],
+                    off_fanin,
+                    int(off_fanin.size),
+                    wire,
+                )
             ledger.record(
                 "apply-fanin", LinkClass.MEMORY_LINK, outcome.bytes_in, off_active
             )

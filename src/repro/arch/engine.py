@@ -53,6 +53,7 @@ from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import _gather
 from repro.kernels.base import KernelState, VertexProgram
+from repro.obs.span import CATEGORY_PHASE
 from repro.partition.base import PartitionAssignment
 
 #: Process-wide count of numeric kernel executions (traverse+reduce+apply).
@@ -714,6 +715,7 @@ def apply_numeric(
     structure: FrontierStructure,
     *,
     telemetry: Optional[EngineTelemetry] = None,
+    tracer=None,
 ) -> np.ndarray:
     """Numeric execution step: traverse → reduce → apply; returns ``changed``.
 
@@ -727,7 +729,41 @@ def apply_numeric(
     array order, splitting the edge stream into consecutive chunks leaves
     the floating-point accumulation order — and thus the results — exactly
     unchanged.
+
+    An enabled ``tracer`` wraps the reduce in a ``traverse`` span and the
+    kernel apply in an ``apply`` span; the cost when disabled is a single
+    truthiness check — never per-edge work.
     """
+    if tracer is not None and tracer.enabled:
+        with tracer.span(
+            "traverse",
+            category=CATEGORY_PHASE,
+            edges=structure.edges_traversed,
+            streamed=structure.streamed,
+            blocks=structure.num_blocks,
+        ):
+            touched, reduced = _traverse_reduce(
+                kernel, state, structure, telemetry
+            )
+        with tracer.span(
+            "apply", category=CATEGORY_PHASE, touched=int(touched.size)
+        ) as span:
+            changed = np.asarray(
+                kernel.apply(state, touched, reduced), dtype=np.int64
+            )
+            span.set_attr("changed", int(changed.size))
+        return changed
+    touched, reduced = _traverse_reduce(kernel, state, structure, telemetry)
+    return np.asarray(kernel.apply(state, touched, reduced), dtype=np.int64)
+
+
+def _traverse_reduce(
+    kernel: VertexProgram,
+    state: KernelState,
+    structure: FrontierStructure,
+    telemetry: Optional[EngineTelemetry],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The traverse → reduce halves of :func:`apply_numeric`."""
     global _numeric_executions
     _numeric_executions += 1
 
@@ -776,7 +812,7 @@ def apply_numeric(
     else:
         reduced = np.empty(0)
 
-    return np.asarray(kernel.apply(state, touched, reduced), dtype=np.int64)
+    return touched, reduced
 
 
 def execute_iteration(
@@ -788,6 +824,7 @@ def execute_iteration(
     cache: Optional[StructuralProfileCache] = None,
     memory_budget_bytes: Optional[int] = None,
     telemetry: Optional[EngineTelemetry] = None,
+    tracer=None,
 ) -> IterationProfile:
     """Run one iteration and return its structural profile.
 
@@ -795,7 +832,9 @@ def execute_iteration(
     kernel's own hooks.  ``cache`` enables structural-profile reuse across
     iterations with identical frontiers; ``memory_budget_bytes`` bounds the
     per-iteration working set via blocked edge streaming; ``telemetry``
-    collects peak tracked bytes and block counts.
+    collects peak tracked bytes and block counts.  An enabled ``tracer``
+    records ``profile`` / ``traverse`` / ``apply`` phase spans; ``None``
+    (or a disabled tracer) costs one truthiness check per phase.
     """
     graph = state.graph
     if assignment.parts.size != graph.num_vertices:
@@ -807,15 +846,37 @@ def execute_iteration(
     frontier = np.asarray(state.frontier, dtype=np.int64)
     iteration = state.iteration
 
-    structure = frontier_structure(
-        graph,
-        frontier,
-        assignment,
-        cache=cache,
-        memory_budget_bytes=memory_budget_bytes,
-        telemetry=telemetry,
+    if tracer is not None and tracer.enabled:
+        hits_before = cache.hits if cache is not None else 0
+        with tracer.span(
+            "profile", category=CATEGORY_PHASE, frontier_size=int(frontier.size)
+        ) as span:
+            structure = frontier_structure(
+                graph,
+                frontier,
+                assignment,
+                cache=cache,
+                memory_budget_bytes=memory_budget_bytes,
+                telemetry=telemetry,
+            )
+            span.set_attrs(
+                edges=structure.edges_traversed,
+                streamed=structure.streamed,
+                blocks=structure.num_blocks,
+                cache_hit=cache is not None and cache.hits > hits_before,
+            )
+    else:
+        structure = frontier_structure(
+            graph,
+            frontier,
+            assignment,
+            cache=cache,
+            memory_budget_bytes=memory_budget_bytes,
+            telemetry=telemetry,
+        )
+    changed = apply_numeric(
+        kernel, state, structure, telemetry=telemetry, tracer=tracer
     )
-    changed = apply_numeric(kernel, state, structure, telemetry=telemetry)
 
     changed_mirror_pairs = 0
     if mirrors_per_vertex is not None and changed.size:

@@ -8,7 +8,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.kernels.base import KernelState, VertexProgram
-from repro.telemetry.counters import CounterSet
+from repro.obs.metrics import CounterSet, strict_counters
 from repro.telemetry.movement import MovementLedger
 from repro.utils.tables import TextTable
 from repro.utils.units import format_bytes
@@ -70,7 +70,7 @@ class RunResult:
     final_state: Optional[KernelState] = None
     kernel_program: Optional[VertexProgram] = None
     ledger: MovementLedger = field(default_factory=MovementLedger)
-    counters: CounterSet = field(default_factory=CounterSet)
+    counters: CounterSet = field(default_factory=strict_counters)
     converged: bool = False
 
     # ------------------------------------------------------------------ #

@@ -33,6 +33,11 @@ from repro.arch.engine import (
 )
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
+from repro.obs.span import (
+    CATEGORY_ITERATION,
+    CATEGORY_RUN,
+    get_tracer,
+)
 from repro.kernels.base import KernelState, VertexProgram
 from repro.partition.base import PartitionAssignment, Partitioner
 from repro.partition.mirrors import MirrorTable, build_mirror_table
@@ -153,23 +158,63 @@ def record_trace(
         converged=False,
         graph_name=graph_name,
     )
-    for _ in range(cap):
-        if state.frontier.size == 0:
-            trace.converged = True
-            break
-        profile = execute_iteration(
-            kernel,
-            state,
-            assignment,
-            mirrors_per_vertex=mirrors_per_vertex,
-            cache=cache,
-            memory_budget_bytes=memory_budget_bytes,
-            telemetry=telemetry,
-        )
-        trace.profiles.append(profile)
-        if kernel.has_converged(state):
-            trace.converged = True
-            break
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "run",
+            category=CATEGORY_RUN,
+            kernel=kernel.name,
+            graph=graph_name,
+            parts=assignment.num_parts,
+            mode="record",
+        ) as run_span:
+            for _ in range(cap):
+                if state.frontier.size == 0:
+                    trace.converged = True
+                    break
+                with tracer.span(
+                    "iteration", category=CATEGORY_ITERATION
+                ) as it_span:
+                    profile = execute_iteration(
+                        kernel,
+                        state,
+                        assignment,
+                        mirrors_per_vertex=mirrors_per_vertex,
+                        cache=cache,
+                        memory_budget_bytes=memory_budget_bytes,
+                        telemetry=telemetry,
+                        tracer=tracer,
+                    )
+                    it_span.set_attrs(
+                        iteration=profile.iteration,
+                        frontier_size=profile.frontier_size,
+                        edges=profile.edges_traversed,
+                    )
+                trace.profiles.append(profile)
+                if kernel.has_converged(state):
+                    trace.converged = True
+                    break
+            run_span.set_attrs(
+                iterations=len(trace.profiles), converged=trace.converged
+            )
+    else:
+        for _ in range(cap):
+            if state.frontier.size == 0:
+                trace.converged = True
+                break
+            profile = execute_iteration(
+                kernel,
+                state,
+                assignment,
+                mirrors_per_vertex=mirrors_per_vertex,
+                cache=cache,
+                memory_budget_bytes=memory_budget_bytes,
+                telemetry=telemetry,
+            )
+            trace.profiles.append(profile)
+            if kernel.has_converged(state):
+                trace.converged = True
+                break
 
     state.converged = trace.converged
     trace.cache_hits = cache.hits

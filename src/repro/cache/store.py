@@ -35,7 +35,8 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.errors import CacheError
-from repro.telemetry.counters import CounterSet
+from repro.obs.metrics import METRICS, M, strict_counters
+from repro.obs.span import get_tracer
 
 _META_FIELD = "__meta__"
 _VALID_KINDS = ("dataset", "partition", "mirrors")
@@ -51,7 +52,7 @@ class ArtifactCache:
             raise CacheError(f"max_bytes must be >= 0, got {max_bytes}")
         self.root = Path(root)
         self.max_bytes = max_bytes
-        self.counters = CounterSet()
+        self.counters = strict_counters()
 
     # ------------------------------------------------------------------ #
     # Paths
@@ -92,16 +93,24 @@ class ArtifactCache:
                 }
         except FileNotFoundError:
             self.counters.add(f"cache.{kind}.misses")
+            get_tracer().event("cache-get", kind=kind, outcome="miss")
             return None
         except Exception:
             # Truncated download, partial disk, zip corruption, bad JSON …
             # anything unreadable degrades to a miss.
             self.counters.add(f"cache.{kind}.corrupt")
+            get_tracer().event("cache-get", kind=kind, outcome="corrupt")
             self._evict(path)
             return None
         self.counters.add(f"cache.{kind}.hits")
         self.counters.add(
-            "cache.seconds_saved", float(meta.get("gen_seconds", 0.0))
+            M.CACHE_SECONDS_SAVED, float(meta.get("gen_seconds", 0.0))
+        )
+        get_tracer().event(
+            "cache-get",
+            kind=kind,
+            outcome="hit",
+            seconds_saved=float(meta.get("gen_seconds", 0.0)),
         )
         self._touch(path)
         return arrays, meta
@@ -142,8 +151,12 @@ class ArtifactCache:
                 raise
         except OSError:
             self.counters.add(f"cache.{kind}.write_errors")
+            get_tracer().event("cache-put", kind=kind, outcome="error")
             return False
         self.counters.add(f"cache.{kind}.writes")
+        get_tracer().event(
+            "cache-put", kind=kind, outcome="write", bytes=len(data)
+        )
         if self.max_bytes is not None:
             self._enforce_cap()
         return True
@@ -228,6 +241,7 @@ class ArtifactCache:
             stamped.append((st.st_mtime, st.st_size, path))
             total += st.st_size
         if total <= self.max_bytes:
+            METRICS.gauge(M.CACHE_SIZE_BYTES).set(total)
             return
         stamped.sort()  # oldest mtime first = least recently used
         for _, size, path in stamped:
@@ -235,4 +249,5 @@ class ArtifactCache:
                 break
             if self._evict(path):
                 total -= size
-                self.counters.add("cache.evictions")
+                self.counters.add(M.CACHE_EVICTIONS)
+        METRICS.gauge(M.CACHE_SIZE_BYTES).set(total)

@@ -22,6 +22,14 @@ from typing import Optional, Sequence
 
 from repro import cache as repro_cache
 from repro.arch.energy import estimate_run_energy
+from repro.cli_common import (
+    add_cache_dir_alias,
+    add_fault_seed_arg,
+    add_jobs_arg,
+    add_memory_budget_alias,
+    add_observability_args,
+)
+from repro.obs import tracing_session
 from repro.arch.registry import get_architecture, list_architectures
 from repro.errors import ReproError
 from repro.faults.checkpoint import (
@@ -119,14 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject one memory-node crash at that iteration boundary "
         "(accounting only; the numerics are untouched)",
     )
-    parser.add_argument(
-        "--fault-seed",
-        type=int,
-        default=None,
-        metavar="SEED",
-        help="expand a probabilistic fault schedule (crashes, NDP failures, "
-        "link degradation, message drops) from this seed",
-    )
+    add_fault_seed_arg(parser)
     parser.add_argument(
         "--replication",
         type=int,
@@ -162,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="regenerate everything, ignoring $REPRO_CACHE_DIR",
     )
+    add_cache_dir_alias(cache_mode)
+    add_memory_budget_alias(parser)
+    add_jobs_arg(parser)
+    add_observability_args(parser)
     parser.add_argument("--trace-csv", default=None, help="write per-iteration trace CSV")
     parser.add_argument("--trace-jsonl", default=None, help="write per-iteration trace JSONL")
     parser.add_argument("--energy", action="store_true", help="print the energy estimate")
@@ -185,13 +190,9 @@ def _build_faults(args: argparse.Namespace):
             replication_factor=args.replication,
         )
     if args.fault_seed is not None:
-        return FaultSpec(
+        return FaultSpec.standard(
             seed=args.fault_seed,
             num_parts=args.parts,
-            memory_crash_prob=0.05,
-            ndp_failure_prob=0.10,
-            link_degradation_prob=0.10,
-            message_drop_prob=0.15,
             replication_factor=args.replication,
         )
     return None
@@ -209,7 +210,15 @@ def _build_checkpoint(args: argparse.Namespace):
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return _run(args)
+        with tracing_session(
+            trace_out=args.trace_out,
+            jsonl_out=args.trace_events,
+            progress=args.progress,
+        ):
+            code = _run(args)
+        if code == 0 and args.trace_out:
+            print(f"trace written to {args.trace_out}")
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

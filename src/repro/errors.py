@@ -82,6 +82,16 @@ class ExperimentError(ReproError):
     """An experiment harness was invoked with invalid parameters."""
 
 
+class MetricError(ReproError):
+    """An undeclared metric name was used, or a declared one was misused.
+
+    Raised when a counter/gauge/histogram name is not registered in the
+    central :data:`repro.obs.metrics.METRICS` registry (typically a typo —
+    the message suggests the closest declared name), or when a name is
+    re-declared with a different kind.
+    """
+
+
 class FaultError(ReproError):
     """Invalid fault specification, schedule, or injection request."""
 

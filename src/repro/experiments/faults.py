@@ -59,13 +59,20 @@ def run(
     max_iterations: int = 12,
     spec: Optional[FaultSpec] = None,
     checkpoint_interval: int = 4,
+    fault_seed: Optional[int] = None,
 ) -> ExperimentResult:
-    """Fault experiment entry point (``repro-experiments run faults``)."""
+    """Fault experiment entry point (``repro-experiments run faults``).
+
+    ``fault_seed`` reseeds the fault schedule independently of the dataset
+    seed (the CLI's ``--fault-seed``); an explicit ``spec`` wins over both.
+    """
     graph, ds = load_dataset(dataset, tier=tier, seed=seed)
     config = SystemConfig(num_compute_nodes=1, num_memory_nodes=num_nodes)
     prog = get_kernel(kernel)
     spec = spec or default_fault_spec(
-        seed=seed, num_parts=num_nodes, horizon=max_iterations
+        seed=fault_seed if fault_seed is not None else seed,
+        num_parts=num_nodes,
+        horizon=max_iterations,
     )
     schedule = FaultSchedule.from_spec(spec)
 

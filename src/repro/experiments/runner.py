@@ -16,8 +16,16 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.cli_common import (
+    add_cache_dir_alias,
+    add_fault_seed_arg,
+    add_jobs_arg,
+    add_memory_budget_alias,
+    add_observability_args,
+)
 from repro.errors import ExperimentError
 from repro.experiments import ALL_EXPERIMENTS
+from repro.obs import tracing_session
 from repro.telemetry.report import to_json
 
 
@@ -53,15 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write <DIR>/<experiment>.json with the raw series",
     )
-    run_p.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for the 'sweep' experiment (CSR arrays are "
-        "shared through shared memory, not pickled); other experiments "
-        "ignore this flag",
-    )
+    add_jobs_arg(run_p)
+    add_fault_seed_arg(run_p)
+    add_memory_budget_alias(run_p)
+    add_observability_args(run_p)
     run_p.add_argument(
         "--timeout",
         type=float,
@@ -91,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="regenerate everything, ignoring $REPRO_CACHE_DIR",
     )
+    add_cache_dir_alias(cache_mode)
     fail_mode = run_p.add_mutually_exclusive_group()
     fail_mode.add_argument(
         "--keep-going",
@@ -121,6 +125,7 @@ def run_experiment(
     retries: int = 2,
     keep_going: bool = False,
     memory_budget_bytes: Optional[int] = None,
+    fault_seed: Optional[int] = None,
 ) -> str:
     """Run one experiment and return its rendered report."""
     try:
@@ -141,6 +146,11 @@ def run_experiment(
             retries=retries,
             keep_going=keep_going,
             memory_budget_bytes=memory_budget_bytes,
+            fault_seed=fault_seed,
+        )
+    elif experiment_id == "faults":
+        result = fn(  # type: ignore[call-arg]
+            tier=tier, seed=seed, fault_seed=fault_seed
         )
     else:
         result = fn(tier=tier, seed=seed)  # type: ignore[call-arg]
@@ -175,23 +185,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    for target in targets:
-        try:
-            report = run_experiment(
-                target,
-                tier=args.tier,
-                seed=args.seed,
-                json_dir=args.json,
-                jobs=args.jobs,
-                timeout=args.timeout,
-                retries=args.retries,
-                keep_going=args.keep_going,
-                memory_budget_bytes=budget,
-            )
-        except ExperimentError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        print(report)
+    with tracing_session(
+        trace_out=args.trace_out,
+        jsonl_out=args.trace_events,
+        progress=args.progress,
+    ):
+        for target in targets:
+            try:
+                report = run_experiment(
+                    target,
+                    tier=args.tier,
+                    seed=args.seed,
+                    json_dir=args.json,
+                    jobs=args.jobs,
+                    timeout=args.timeout,
+                    retries=args.retries,
+                    keep_going=args.keep_going,
+                    memory_budget_bytes=budget,
+                    fault_seed=args.fault_seed,
+                )
+            except ExperimentError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(report)
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
     active = repro_cache.get_cache()
     if active is not None and len(active.counters):
         from repro.telemetry.report import cache_table

@@ -48,6 +48,13 @@ from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.graph.csr import CSRGraph
 from repro.cache import load_dataset_cached
 from repro.kernels.registry import get_kernel
+from repro.obs.span import (
+    CATEGORY_RUN,
+    CATEGORY_TASK,
+    Tracer,
+    get_tracer,
+    use_tracer,
+)
 from repro.runtime.config import SystemConfig
 from repro.utils.tables import TextTable
 
@@ -233,6 +240,10 @@ class SweepOutcome:
     #: failure description when the task exhausted its retries under
     #: ``keep_going`` (every measurement field is then zero/empty)
     error: Optional[str] = None
+    #: serialized span batch (``Tracer.to_batch()``) recorded inside the
+    #: task when span collection is on — plain dicts, so it survives the
+    #: process boundary and the parent can ``adopt_batch`` it
+    spans: Tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -247,12 +258,39 @@ class SweepOutcome:
         return int(sum(self.offload_bytes))
 
 
-def _execute_task(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOutcome:
+def _execute_task(
+    task: SweepTask,
+    graph: CSRGraph,
+    graph_name: str,
+    *,
+    collect_spans: bool = False,
+) -> SweepOutcome:
     """Run one workload: record the trace once, replay both deployments.
 
     This exact function serves both the serial path and the workers, so
     ``jobs=1`` and ``jobs=N`` outcomes can only differ if the inputs do.
+    With ``collect_spans`` the task runs under its own local tracer and the
+    outcome carries the serialized span batch — the driver adopts it into
+    the parent timeline, so serial and parallel sweeps produce the same
+    span *structure* (the tests assert exactly that).
     """
+    if collect_spans:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span(
+                "task",
+                category=CATEGORY_TASK,
+                label=task.label,
+                dataset=task.dataset,
+                kernel=task.kernel,
+                partitions=task.partitions,
+            ):
+                outcome = _task_body(task, graph, graph_name)
+        return replace(outcome, spans=tracer.to_batch())
+    return _task_body(task, graph, graph_name)
+
+
+def _task_body(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOutcome:
     kernel = get_kernel(task.kernel)
     source = int(graph.out_degrees.argmax()) if kernel.needs_source else None
     config = SystemConfig(
@@ -334,6 +372,7 @@ def _worker_execute(
     graph_name: str,
     *,
     crash: bool = False,
+    collect_spans: bool = False,
 ) -> SweepOutcome:
     if crash:
         # Test hook: die the way a real worker does (OOM-killed, segfaulted)
@@ -343,7 +382,7 @@ def _worker_execute(
     if key not in _ATTACHED:
         _ATTACHED[key] = attach_shared_graph(spec)
     graph, _segments = _ATTACHED[key]
-    return _execute_task(task, graph, graph_name)
+    return _execute_task(task, graph, graph_name, collect_spans=collect_spans)
 
 
 # --------------------------------------------------------------------------- #
@@ -411,6 +450,7 @@ def run_sweep(
     backoff_s: float = 0.25,
     keep_going: bool = False,
     crash_plan: Optional[Mapping[str, int]] = None,
+    collect_spans: bool = False,
 ) -> List[SweepOutcome]:
     """Run every task and return outcomes in task order.
 
@@ -428,6 +468,9 @@ def run_sweep(
     ``crash_plan`` maps task labels to a number of injected worker crashes
     — the retry machinery's test hook (in serial mode an injected crash
     raises instead, as there is no process to lose).
+
+    With ``collect_spans`` each task records its own span batch (see
+    :class:`SweepOutcome.spans`) regardless of the execution mode.
     """
     if not tasks:
         return []
@@ -462,7 +505,11 @@ def run_sweep(
                     raise ExperimentError(
                         f"injected crash for {task.label} (serial mode)"
                     )
-                outcomes.append(_execute_task(task, graph, name))
+                outcomes.append(
+                    _execute_task(
+                        task, graph, name, collect_spans=collect_spans
+                    )
+                )
             except Exception as exc:
                 if not keep_going:
                     raise
@@ -503,6 +550,7 @@ def run_sweep(
                             task,
                             *specs[task.graph_key],
                             crash=take_crash(task),
+                            collect_spans=collect_spans,
                         ),
                     )
                     for idx, task, tries in pending
@@ -584,17 +632,57 @@ def run(
     retries: int = 2,
     keep_going: bool = False,
     memory_budget_bytes: Optional[int] = None,
+    fault_seed: Optional[int] = None,
 ) -> ExperimentResult:
-    """Sweep experiment entry point (``repro-experiments sweep``)."""
+    """Sweep experiment entry point (``repro-experiments sweep``).
+
+    ``fault_seed`` injects the standard mixed-fault schedule (see
+    :meth:`FaultSpec.standard`) into every workload.  When a tracer is
+    active (``repro-experiments --trace-out``), each task records its own
+    span batch — in-process or on a worker — and the batches are adopted
+    into one parent ``sweep`` span, so the timeline is coherent across
+    process boundaries.
+    """
     chosen = list(tasks) if tasks is not None else fig7_sweep_tasks(tier=tier, seed=seed)
     if memory_budget_bytes is not None:
         chosen = [
             replace(task, memory_budget_bytes=memory_budget_bytes)
             for task in chosen
         ]
-    outcomes = run_sweep(
-        chosen, jobs=jobs, timeout=timeout, retries=retries, keep_going=keep_going
-    )
+    if fault_seed is not None:
+        chosen = [
+            replace(
+                task,
+                fault_spec=FaultSpec.standard(
+                    seed=fault_seed, num_parts=task.partitions
+                ),
+            )
+            for task in chosen
+        ]
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "sweep",
+            category=CATEGORY_RUN,
+            workloads=len(chosen),
+            jobs=max(jobs, 1),
+            mode="sweep",
+        ):
+            outcomes = run_sweep(
+                chosen,
+                jobs=jobs,
+                timeout=timeout,
+                retries=retries,
+                keep_going=keep_going,
+                collect_spans=True,
+            )
+            for out in outcomes:
+                if out.spans:
+                    tracer.adopt_batch(out.spans)
+    else:
+        outcomes = run_sweep(
+            chosen, jobs=jobs, timeout=timeout, retries=retries, keep_going=keep_going
+        )
     table = TextTable(
         [
             "workload",

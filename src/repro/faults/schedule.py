@@ -70,6 +70,33 @@ class FaultSpec:
         if self.max_events is not None and self.max_events < 0:
             raise FaultError(f"max_events must be >= 0, got {self.max_events}")
 
+    @classmethod
+    def standard(
+        cls,
+        *,
+        seed: int,
+        num_parts: int,
+        replication_factor: int = 1,
+        horizon: int = 30,
+    ) -> "FaultSpec":
+        """The canonical mixed-fault recipe shared by the CLIs and sweeps.
+
+        A moderate blend of every fault class — the same probabilities the
+        ``repro-run --crash-at``-free fault path and the faults experiment
+        have always used, captured in one place so the two CLIs cannot
+        drift apart.
+        """
+        return cls(
+            seed=seed,
+            horizon=horizon,
+            num_parts=num_parts,
+            memory_crash_prob=0.05,
+            ndp_failure_prob=0.10,
+            link_degradation_prob=0.10,
+            message_drop_prob=0.15,
+            replication_factor=replication_factor,
+        )
+
 
 @dataclass(frozen=True)
 class FaultSchedule:

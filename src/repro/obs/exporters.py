@@ -1,0 +1,195 @@
+"""Span exporters: JSONL event stream, Chrome trace, live progress.
+
+All exporters consume either :class:`~repro.obs.span.Span` objects or the
+plain-dict form produced by :meth:`Span.to_dict` / :meth:`Tracer.to_batch`,
+so they work equally on a live tracer and on a deserialized batch.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Sequence
+
+from repro.obs.span import (
+    CATEGORY_ITERATION,
+    CATEGORY_RUN,
+    Span,
+)
+from repro.utils.units import format_bytes
+
+_MICROS = 1e6
+
+
+def _as_dicts(spans: Iterable[Any]) -> List[Dict[str, Any]]:
+    out = []
+    for span in spans:
+        d = span.to_dict() if isinstance(span, Span) else dict(span)
+        if d:
+            out.append(d)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# JSONL event stream
+# --------------------------------------------------------------------------- #
+
+def write_jsonl(spans: Iterable[Any], path: str) -> int:
+    """Write one JSON object per span (start order); returns the count."""
+    rows = _as_dicts(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+class JsonlStreamExporter:
+    """Span-end listener that streams closed spans to a file as JSONL.
+
+    Attach with ``tracer.add_listener(exporter)``; call :meth:`close`
+    (or use as a context manager) to flush and close the file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def __call__(self, span: Span) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlStreamExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace (chrome://tracing / Perfetto "Open trace file")
+# --------------------------------------------------------------------------- #
+
+def chrome_trace_dict(
+    spans: Iterable[Any],
+    *,
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Render spans as a Chrome trace-event JSON document.
+
+    Finished spans become complete (``ph: "X"``) events, zero-duration
+    spans become instant (``ph: "i"``) events; attributes ride along in
+    ``args``.  Each *root* span and its descendants share a ``tid`` so
+    a sweep's tasks render as parallel lanes instead of one mis-nested
+    stack.  Timestamps are rebased to the earliest span start.
+    """
+    rows = _as_dicts(spans)
+    parent_of = {d["id"]: d.get("parent") for d in rows}
+
+    def root_of(span_id: int) -> int:
+        seen = set()
+        while parent_of.get(span_id) is not None and span_id not in seen:
+            seen.add(span_id)
+            span_id = parent_of[span_id]
+        return span_id
+
+    tid_of_root: Dict[int, int] = {}
+    base = min((d["start_s"] for d in rows), default=0.0)
+    events: List[Dict[str, Any]] = []
+    for d in rows:
+        root = root_of(d["id"])
+        tid = tid_of_root.setdefault(root, len(tid_of_root) + 1)
+        ts = (d["start_s"] - base) * _MICROS
+        event: Dict[str, Any] = {
+            "name": d["name"],
+            "cat": d.get("category", "span"),
+            "pid": 1,
+            "tid": tid,
+            "ts": ts,
+            "args": dict(d.get("attrs", {})),
+        }
+        end = d.get("end_s")
+        if end is None:
+            continue  # unfinished span: nothing meaningful to plot
+        dur = (end - d["start_s"]) * _MICROS
+        if dur <= 0.0:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = dur
+        events.append(event)
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    return doc
+
+
+def write_chrome_trace(
+    spans: Iterable[Any],
+    path: str,
+    *,
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> int:
+    """Write a Chrome trace file; returns the number of events emitted."""
+    doc = chrome_trace_dict(spans, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+# --------------------------------------------------------------------------- #
+# Live --progress summary
+# --------------------------------------------------------------------------- #
+
+class ProgressReporter:
+    """Span-end listener printing a one-line human summary per iteration.
+
+    Intended for ``--progress`` on the CLIs: iterations print as they
+    complete, runs print a closing summary.  Anything finer-grained
+    (phases, cache events) is ignored to keep the stream readable.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        import sys
+
+        self._stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, span: Span) -> None:
+        if span.category == CATEGORY_ITERATION:
+            attrs = span.attrs
+            bits = [f"iter {attrs.get('iteration', '?')}"]
+            if "frontier_size" in attrs:
+                bits.append(f"frontier {attrs['frontier_size']:,}")
+            if "host_link_bytes" in attrs:
+                bits.append(
+                    f"host {format_bytes(int(attrs['host_link_bytes']))}"
+                )
+            if "network_bytes" in attrs:
+                bits.append(
+                    f"net {format_bytes(int(attrs['network_bytes']))}"
+                )
+            label = span.attrs.get("architecture") or span.name
+            print(f"[{label}] " + ", ".join(bits), file=self._stream)
+        elif span.category == CATEGORY_RUN:
+            attrs = span.attrs
+            arch = attrs.get("architecture", span.name)
+            parts = [f"[{arch}] done"]
+            if "iterations" in attrs:
+                parts.append(f"{attrs['iterations']} iterations")
+            if "total_host_link_bytes" in attrs:
+                parts.append(
+                    format_bytes(int(attrs["total_host_link_bytes"])) + " moved"
+                )
+            line = parts[0]
+            if len(parts) > 1:
+                line += " — " + ", ".join(parts[1:])
+            print(line, file=self._stream)

@@ -1,6 +1,6 @@
 """Measurement plumbing: counters, movement ledger, utilization, reports."""
 
-from repro.telemetry.counters import CounterSet
+from repro.obs.metrics import CounterSet
 from repro.telemetry.movement import MovementLedger
 from repro.telemetry.utilization import (
     UtilizationReport,

@@ -1,42 +1,35 @@
-"""A tiny named-counter container used by the simulators."""
+"""Deprecated location of :class:`CounterSet`.
+
+The counter container moved to :mod:`repro.obs.metrics`, where it gained
+optional validation against the central metrics registry.  Importing
+from here still works but emits a :class:`DeprecationWarning`::
+
+    from repro.telemetry.counters import CounterSet   # deprecated
+    from repro.obs.metrics import CounterSet          # new home
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping
+import warnings
+
+_MOVED = ("CounterSet",)
 
 
-class CounterSet:
-    """Accumulate named numeric counters (missing names read as 0)."""
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.telemetry.counters.{name} moved to "
+            f"repro.obs.metrics.{name}; update the import",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.obs import metrics
 
-    def __init__(self, initial: Mapping[str, float] | None = None) -> None:
-        self._counts: Dict[str, float] = dict(initial or {})
+        return getattr(metrics, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
-    def add(self, name: str, amount: float = 1.0) -> None:
-        """Increment ``name`` by ``amount``."""
-        self._counts[name] = self._counts.get(name, 0.0) + amount
 
-    def get(self, name: str) -> float:
-        """Current value of ``name`` (0 if never touched)."""
-        return self._counts.get(name, 0.0)
-
-    def merge(self, other: "CounterSet") -> None:
-        """Fold another counter set into this one."""
-        for name, value in other._counts.items():
-            self.add(name, value)
-
-    def as_dict(self) -> Dict[str, float]:
-        """Snapshot of all counters."""
-        return dict(self._counts)
-
-    def __getitem__(self, name: str) -> float:
-        return self.get(name)
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self._counts)
-
-    def __len__(self) -> int:
-        return len(self._counts)
-
-    def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counts.items()))
-        return f"CounterSet({inner})"
+def __dir__():
+    return sorted(list(globals()) + list(_MOVED))

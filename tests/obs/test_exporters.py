@@ -1,0 +1,239 @@
+"""Exporter output: JSONL, Chrome trace (golden), progress reporter."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.exporters import (
+    JsonlStreamExporter,
+    ProgressReporter,
+    chrome_trace_dict,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.schema import CHROME_TRACE_SCHEMA, validate_chrome_trace
+from repro.obs.span import CATEGORY_ITERATION, CATEGORY_RUN, Tracer
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def _golden_tracer() -> Tracer:
+    """Fixed span tree driven by a deterministic clock.
+
+    Two roots so the Chrome exporter has to assign two tid lanes.
+    """
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("run", category=CATEGORY_RUN, architecture="a1"):
+        with tracer.span(
+            "iteration",
+            category=CATEGORY_ITERATION,
+            iteration=0,
+            host_link_bytes=128,
+        ):
+            with tracer.span("traverse"):
+                pass
+            tracer.event("cache-get", kind="dataset", outcome="hit")
+    with tracer.span("run", category=CATEGORY_RUN, architecture="a2"):
+        pass
+    return tracer
+
+
+def _check_golden(name: str, text: str) -> None:
+    """Compare against the checked-in golden; (re)create when absent."""
+    path = GOLDEN_DIR / name
+    if not path.exists():  # pragma: no cover - first generation only
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+    assert text == path.read_text(), (
+        f"{name} drifted from the golden; delete tests/obs/goldens/{name} "
+        "and rerun to regenerate if the change is intentional"
+    )
+
+
+class TestJsonl:
+    def test_write_jsonl_golden(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        count = write_jsonl(_golden_tracer().spans, str(out))
+        assert count == 5
+        _check_golden("spans.jsonl", out.read_text())
+
+    def test_jsonl_rows_parse_and_keep_start_order(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        write_jsonl(_golden_tracer().spans, str(out))
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [r["name"] for r in rows] == [
+            "run", "iteration", "traverse", "cache-get", "run",
+        ]
+        ids = [r["id"] for r in rows]
+        assert ids == sorted(ids)
+
+    def test_stream_exporter_writes_in_close_order(self, tmp_path):
+        out = tmp_path / "stream.jsonl"
+        tracer = Tracer(clock=FakeClock())
+        with JsonlStreamExporter(str(out)) as stream:
+            tracer.add_listener(stream)
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+                tracer.event("blip")
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [r["name"] for r in rows] == ["inner", "blip", "outer"]
+
+    def test_stream_exporter_ignores_spans_after_close(self, tmp_path):
+        out = tmp_path / "stream.jsonl"
+        tracer = Tracer(clock=FakeClock())
+        stream = JsonlStreamExporter(str(out))
+        tracer.add_listener(stream)
+        tracer.event("before")
+        stream.close()
+        tracer.event("after")  # must not raise on the closed file
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [r["name"] for r in rows] == ["before"]
+
+
+class TestChromeTrace:
+    def test_chrome_trace_golden(self, tmp_path):
+        out = tmp_path / "trace.json"
+        count = write_chrome_trace(
+            _golden_tracer().spans, str(out), metadata={"tool": "repro"}
+        )
+        assert count == 5
+        _check_golden("trace.json", out.read_text())
+
+    def test_written_file_validates(self, tmp_path):
+        out = tmp_path / "trace.json"
+        write_chrome_trace(_golden_tracer().spans, str(out))
+        assert validate_chrome_trace(str(out)) == 5
+
+    def test_roots_get_distinct_tid_lanes(self):
+        doc = chrome_trace_dict(_golden_tracer().spans)
+        by_name = {}
+        for ev in doc["traceEvents"]:
+            by_name.setdefault(ev["name"], []).append(ev)
+        run_tids = sorted(ev["tid"] for ev in by_name["run"])
+        assert run_tids == [1, 2]
+        # Children share their root's lane.
+        assert by_name["iteration"][0]["tid"] == 1
+        assert by_name["traverse"][0]["tid"] == 1
+
+    def test_timestamps_rebased_to_zero(self):
+        doc = chrome_trace_dict(_golden_tracer().spans)
+        ts = [ev["ts"] for ev in doc["traceEvents"]]
+        assert min(ts) == 0.0
+        assert all(t >= 0.0 for t in ts)
+
+    def test_event_shapes(self):
+        doc = chrome_trace_dict(_golden_tracer().spans)
+        by_name = {ev["name"]: ev for ev in doc["traceEvents"]}
+        run = by_name["run"]
+        assert run["ph"] == "X"
+        assert run["dur"] > 0
+        assert run["args"]["architecture"] in ("a1", "a2")
+        instant = by_name["cache-get"]
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_unfinished_spans_are_skipped(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.span("open-forever")
+        with tracer.span("closed"):
+            pass
+        doc = chrome_trace_dict(tracer.spans)
+        assert [ev["name"] for ev in doc["traceEvents"]] == ["closed"]
+
+    def test_metadata_rides_in_other_data(self):
+        doc = chrome_trace_dict(
+            _golden_tracer().spans, metadata={"argv": "repro-run"}
+        )
+        assert doc["otherData"] == {"argv": "repro-run"}
+        assert validate_chrome_trace(doc) == 5
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ValueError, match="traceEvents must be a list"):
+            validate_chrome_trace({"traceEvents": {}})
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_chrome_trace({"traceEvents": [{"name": "x"}]})
+        bad_ph = {
+            "name": "x", "cat": "c", "ph": "B", "ts": 0.0,
+            "pid": 1, "tid": 1, "args": {},
+        }
+        with pytest.raises(ValueError, match="ph must be"):
+            validate_chrome_trace({"traceEvents": [bad_ph]})
+
+    def test_schema_document_shape(self):
+        props = CHROME_TRACE_SCHEMA["properties"]
+        assert "traceEvents" in props
+        required = props["traceEvents"]["items"]["required"]
+        assert set(required) >= {"name", "ph", "ts", "pid", "tid"}
+
+
+class TestProgressReporter:
+    def _lines(self, tracer_fn):
+        stream = io.StringIO()
+        tracer = Tracer(clock=FakeClock())
+        tracer.add_listener(ProgressReporter(stream))
+        tracer_fn(tracer)
+        return stream.getvalue().splitlines()
+
+    def test_iteration_line(self):
+        def drive(tracer):
+            with tracer.span(
+                "iteration",
+                category=CATEGORY_ITERATION,
+                iteration=3,
+                frontier_size=1200,
+                host_link_bytes=2048,
+                network_bytes=1024,
+                architecture="disaggregated-ndp",
+            ):
+                pass
+
+        lines = self._lines(drive)
+        assert lines == [
+            "[disaggregated-ndp] iter 3, frontier 1,200, "
+            "host 2.00 KiB, net 1.00 KiB"
+        ]
+
+    def test_run_summary_line(self):
+        def drive(tracer):
+            with tracer.span(
+                "run",
+                category=CATEGORY_RUN,
+                architecture="compute-centric",
+                iterations=9,
+                total_host_link_bytes=4096,
+            ):
+                pass
+
+        lines = self._lines(drive)
+        assert lines == ["[compute-centric] done — 9 iterations, 4.00 KiB moved"]
+
+    def test_run_line_without_attrs_has_no_dangling_dash(self):
+        def drive(tracer):
+            with tracer.span("run", category=CATEGORY_RUN):
+                pass
+
+        lines = self._lines(drive)
+        assert lines == ["[run] done"]
+
+    def test_phases_and_events_are_silent(self):
+        def drive(tracer):
+            with tracer.span("traverse"):
+                pass
+            tracer.event("cache-get")
+
+        assert self._lines(drive) == []

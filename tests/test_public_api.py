@@ -1,6 +1,10 @@
 """The documented public API: everything in ``repro.__all__`` importable and
 the quickstart path working end to end."""
 
+import dataclasses
+import inspect
+import warnings
+
 import numpy as np
 import pytest
 
@@ -72,3 +76,78 @@ class TestPublicSurface:
     def test_device_catalog_exported(self):
         names = {d.name for d in repro.device_catalog()}
         assert "upmem" in names and "cxl-cms" in names
+
+
+class TestFacadeSurface:
+    """The stable facade: RunSpec + the five one-call workflows."""
+
+    FACADE = ("RunSpec", "run", "compare", "sweep", "load_dataset", "partition")
+
+    def test_facade_names_in_all(self):
+        for name in self.FACADE:
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+
+    def test_runspec_is_frozen_and_keyword_only(self):
+        spec = repro.RunSpec(dataset="wikitalk-sim", tier="tiny")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.kernel = "bfs"
+        with pytest.raises(TypeError):
+            repro.RunSpec("wikitalk-sim")  # positional fields rejected
+
+    def test_runspec_validates_on_construction(self):
+        with pytest.raises(repro.ConfigError, match="partitions"):
+            repro.RunSpec(partitions=0)
+        with pytest.raises(repro.ConfigError, match="replication_factor"):
+            repro.RunSpec(replication_factor=0)
+
+    def test_facade_functions_are_keyword_only(self):
+        for name in ("load_dataset", "partition"):
+            sig = inspect.signature(getattr(repro, name))
+            positional = [
+                p
+                for p in sig.parameters.values()
+                if p.kind
+                in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+            ]
+            # Only the primary subject (name / graph) may be positional.
+            assert len(positional) <= 1, name
+
+    def test_run_accepts_spec_and_overrides(self):
+        spec = repro.RunSpec(
+            dataset="wikitalk-sim", tier="tiny", max_iterations=3, partitions=4
+        )
+        result = repro.run(spec)
+        assert result.architecture == "disaggregated-ndp"
+        assert result.num_iterations == 3
+        override = repro.run(spec, architecture="distributed")
+        assert override.architecture == "distributed"
+
+    def test_run_rejects_unknown_fields(self):
+        with pytest.raises(repro.ConfigError, match="unknown RunSpec field"):
+            repro.run(dataset="wikitalk-sim", tier="tiny", kernell="pagerank")
+
+    def test_compare_covers_all_architectures(self):
+        comparison = repro.compare(
+            dataset="wikitalk-sim", tier="tiny", max_iterations=3, partitions=4
+        )
+        assert {row.architecture for row in comparison.rows} == set(
+            repro.list_architectures()
+        )
+
+    def test_load_dataset_and_partition_compose(self):
+        graph, spec = repro.load_dataset("wikitalk-sim", tier="tiny", seed=7)
+        assert spec.name.startswith("wikitalk")
+        assignment = repro.partition(graph, num_parts=4, partitioner="hash")
+        assert assignment.num_parts == 4
+
+    def test_compare_architectures_shim_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn = repro.compare_architectures
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        from repro.arch import compare_architectures
+
+        assert fn is compare_architectures
