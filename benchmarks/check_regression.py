@@ -15,16 +15,26 @@ algorithmic regression overshoots 20% by an order of magnitude.
 
 A second gate covers the observability layer: the ``noop_tracer_overhead``
 section (benchmarks/test_obs_bench.py) must report a disabled-tracer
-engine overhead of at most 2%.  ``--only`` selects which gates run:
-``engine`` and ``obs`` each require their section; the default ``all``
-requires the engine section and checks the obs one when present.
+engine overhead of at most 2%.
+
+A third gate covers the compiled execution backend: the
+``backend_micro_medium`` section of ``BENCH_backend.json``
+(benchmarks/test_backend_bench.py) must report at least a 5x numba-over-
+numpy speedup on the fused apply loop — but only when numba actually ran;
+on numpy-only machines the gate passes with a note, so the bench stays
+runnable everywhere.
+
+``--only`` selects which gates run: ``engine``, ``obs``, and ``backend``
+each require their section; the default ``all`` requires the engine
+section and checks the others when present.
 
 Usage::
 
     python benchmarks/check_regression.py \\
         [--current benchmarks/out/BENCH_engine.json] \\
         [--baseline benchmarks/baseline/BENCH_engine.medium.json] \\
-        [--only {all,engine,obs}]
+        [--backend-current benchmarks/out/BENCH_backend.json] \\
+        [--only {all,engine,obs,backend}]
 """
 
 from __future__ import annotations
@@ -43,6 +53,11 @@ OBS_SECTION = "noop_tracer_overhead"
 OBS_METRIC = "overhead_pct"
 OBS_MAX_PCT = 2.0
 
+#: Optional gate: compiled backend speedup (benchmarks/test_backend_bench.py).
+BACKEND_SECTION = "backend_micro_medium"
+BACKEND_METRIC = "apply_speedup"
+BACKEND_MIN_SPEEDUP = 5.0
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -59,13 +74,20 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--backend-current",
+        default=str(REPO_ROOT / "benchmarks" / "out" / "BENCH_backend.json"),
+    )
+    parser.add_argument(
         "--only",
-        choices=("all", "engine", "obs"),
+        choices=("all", "engine", "obs", "backend"),
         default="all",
-        help="which gates to enforce (default: engine required, obs "
-        "checked when its section is present)",
+        help="which gates to enforce (default: engine required, obs and "
+        "backend checked when their sections are present)",
     )
     args = parser.parse_args(argv)
+
+    if args.only == "backend":
+        return _check_backend(args.backend_current, required=True)
 
     try:
         current_doc = json.loads(Path(args.current).read_text())
@@ -127,7 +149,62 @@ def main(argv=None) -> int:
             )
             return 1
 
+    # Like the obs gate, the backend gate is advisory-by-presence under
+    # --only all: its bench writes a separate file, checked when there.
+    if args.only == "all" and Path(args.backend_current).exists():
+        code = _check_backend(args.backend_current, required=False)
+        if code:
+            return code
+
     print("bench-regression: OK")
+    return 0
+
+
+def _check_backend(path: str, *, required: bool) -> int:
+    """Gate the compiled-backend speedup recorded in BENCH_backend.json.
+
+    The minimum speedup is only enforced when the bench actually ran
+    numba; a numpy-only environment records ``numba_available: false``
+    and passes with a note (the bit-identity tests, not this gate, are
+    what guard correctness there).
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        print(
+            f"bench-regression: {path} missing — run "
+            "pytest benchmarks/test_backend_bench.py first",
+            file=sys.stderr,
+        )
+        return 2
+    if BACKEND_SECTION not in doc:
+        print(
+            f"bench-regression: section {BACKEND_SECTION!r} missing from "
+            f"{path}",
+            file=sys.stderr,
+        )
+        return 2
+    section = doc[BACKEND_SECTION]
+    if not section.get("numba_available", False):
+        print(
+            "bench-regression: backend gate skipped — numba not installed, "
+            "numpy oracle is the only backend (OK)"
+        )
+        return 0
+    speedup = float(section[BACKEND_METRIC])
+    print(
+        f"bench-regression: {BACKEND_SECTION}.{BACKEND_METRIC} = "
+        f"{speedup:.2f}x (min {BACKEND_MIN_SPEEDUP:.1f}x)"
+    )
+    if speedup < BACKEND_MIN_SPEEDUP:
+        print(
+            f"bench-regression: FAIL — compiled backend speedup "
+            f"{speedup:.2f}x below the {BACKEND_MIN_SPEEDUP:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if required:
+        print("bench-regression: OK")
     return 0
 
 

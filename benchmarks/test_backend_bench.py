@@ -1,0 +1,163 @@
+"""Compiled-backend microbenchmarks (``BENCH_backend.json``).
+
+Times the two engine hot loops the :mod:`repro.backend` seam covers —
+the fused apply (edge messages + segment reduce) and the ragged frontier
+gather — on the medium preset, numpy oracle vs. numba JIT, and emits the
+machine-readable section ``backend_micro_medium`` that
+``benchmarks/check_regression.py --only backend`` gates on.
+
+On a numpy-only machine the bench still runs: it records the oracle
+timings with ``numba_available: false`` and the gate passes with a note.
+When numba is present the fused apply must clear a 5x speedup and the
+two backends' accumulators must match bit-for-bit.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.arch.engine import frontier_structure, prepare_graph
+from repro.backend import numba_available, resolve_backend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.graph.datasets import load_dataset
+from repro.kernels.registry import get_kernel
+from repro.partition import HashPartitioner
+
+#: Minimum numba-over-numpy speedup on the fused apply loop (the
+#: acceptance bar; mirrored by BACKEND_MIN_SPEEDUP in check_regression).
+MIN_APPLY_SPEEDUP = 5.0
+
+
+def _min_of(fn, rounds=3):
+    """Best-of-N wall time: robust against scheduler noise on shared CI."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _write_bench_backend(bench_out_dir, section, payload):
+    path = bench_out_dir / "BENCH_backend.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_backend_micro_medium(bench_out_dir):
+    """Apply + gather at the medium preset, numpy vs numba.
+
+    The apply measurement reproduces exactly what ``_traverse_reduce``
+    does per iteration: the numpy side materializes ``edge_messages`` and
+    ``ufunc.at``-reduces them, the numba side runs the fused per-edge
+    loop.  Both reduce into a fresh identity-filled accumulator so the
+    rounds are independent.
+    """
+    graph, _ = load_dataset("livejournal-sim", tier="medium", seed=7)
+    kernel = get_kernel("pagerank")
+    prepared = prepare_graph(graph, kernel)
+    assignment = HashPartitioner().partition(prepared, 16, seed=7)
+    state = kernel.initial_state(prepared)
+    frontier = np.asarray(state.frontier, dtype=np.int64)
+    structure = frontier_structure(prepared, frontier, assignment)
+    src, dst, weights = structure.src, structure.dst, structure.weights
+    identity = kernel.message.identity
+    reduce_op = kernel.message.reduce
+    n = prepared.num_vertices
+
+    numpy_backend = NumpyBackend()
+    starts = prepared.indptr[frontier]
+    lens = prepared.indptr[frontier + 1] - starts
+
+    def numpy_apply():
+        acc = np.full(n, identity, dtype=np.float64)
+        values = kernel.edge_messages(state, src, dst, weights)
+        numpy_backend.segment_reduce(acc, dst, values, reduce_op)
+        return acc
+
+    def numpy_gather():
+        return numpy_backend.gather_frontier_edges(
+            prepared.indices, starts, lens
+        )
+
+    numpy_apply_seconds, numpy_acc = _min_of(numpy_apply)
+    numpy_gather_seconds, numpy_gathered = _min_of(numpy_gather)
+
+    payload = {
+        "workload": "pagerank-apply/livejournal-sim/medium",
+        "partitions": 16,
+        "edges": int(prepared.num_edges),
+        "numba_available": numba_available(),
+        "numpy_apply_seconds": numpy_apply_seconds,
+        "numpy_gather_seconds": numpy_gather_seconds,
+        "apply_edges_per_second": prepared.num_edges / numpy_apply_seconds,
+    }
+
+    if numba_available():
+        nb = resolve_backend("numba")
+        plan = nb.plan(kernel, prepared)
+        assert plan.fused, "pagerank's edge op must fuse under numba"
+
+        def numba_apply():
+            acc = np.full(n, identity, dtype=np.float64)
+            assert nb.apply_numeric(kernel, state, acc, src, dst, weights)
+            return acc
+
+        def numba_gather():
+            return nb.gather_frontier_edges(prepared.indices, starts, lens)
+
+        # Warm outside the timed region so JIT compilation is billed to
+        # compile_seconds, not the loop timings.
+        numba_apply()
+        numba_gather()
+        numba_apply_seconds, numba_acc = _min_of(numba_apply)
+        numba_gather_seconds, numba_gathered = _min_of(numba_gather)
+
+        np.testing.assert_array_equal(numpy_acc, numba_acc)
+        np.testing.assert_array_equal(numpy_gathered, numba_gathered)
+
+        apply_speedup = numpy_apply_seconds / numba_apply_seconds
+        payload.update(
+            {
+                "numba_apply_seconds": numba_apply_seconds,
+                "numba_gather_seconds": numba_gather_seconds,
+                "apply_speedup": apply_speedup,
+                "gather_speedup": numpy_gather_seconds / numba_gather_seconds,
+                "compile_seconds": plan.compile_seconds,
+                "bit_identical": True,
+            }
+        )
+        _write_bench_backend(bench_out_dir, "backend_micro_medium", payload)
+        assert apply_speedup >= MIN_APPLY_SPEEDUP, (
+            f"fused apply speedup {apply_speedup:.2f}x below the "
+            f"{MIN_APPLY_SPEEDUP:.1f}x bar "
+            f"({numba_apply_seconds * 1e3:.1f} ms vs "
+            f"{numpy_apply_seconds * 1e3:.1f} ms)"
+        )
+    else:
+        _write_bench_backend(bench_out_dir, "backend_micro_medium", payload)
+
+
+def test_backend_bench_gate_passes_without_numba(bench_out_dir):
+    """The committed gate accepts a numpy-only BENCH_backend.json."""
+    if numba_available():  # pragma: no cover - compiled-extra environments
+        pytest.skip("gate skip-path only exists without numba")
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    script = Path(__file__).parent / "check_regression.py"
+    bench = bench_out_dir / "BENCH_backend.json"
+    assert bench.exists(), "test_backend_micro_medium must run first"
+    proc = subprocess.run(
+        [sys.executable, str(script), "--only", "backend",
+         "--backend-current", str(bench)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "numba not installed" in proc.stdout

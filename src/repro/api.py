@@ -126,6 +126,10 @@ class RunSpec:
     memory_budget_bytes: Optional[int] = None
     fault_seed: Optional[int] = None
     replication_factor: int = 1
+    #: execution backend for the engine hot loops — "auto" (numba when
+    #: importable, else numpy), "numpy" (the oracle), or "numba".
+    #: Bit-identical results either way; only speed changes.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.partitions < 1:
@@ -134,6 +138,13 @@ class RunSpec:
             raise ConfigError(
                 "replication_factor must be >= 1, got "
                 f"{self.replication_factor}"
+            )
+        from repro.backend import BACKEND_CHOICES
+
+        if self.backend not in BACKEND_CHOICES:
+            raise ConfigError(
+                f"backend must be one of {', '.join(BACKEND_CHOICES)}, "
+                f"got {self.backend!r}"
             )
 
 
@@ -209,6 +220,7 @@ def run(spec: Optional[RunSpec] = None, **overrides: Any):
     config = SystemConfig(
         num_memory_nodes=spec.partitions,
         memory_budget_bytes=spec.memory_budget_bytes,
+        backend=spec.backend,
     )
     kwargs: Dict[str, Any] = {}
     if spec.policy is not None:
@@ -242,6 +254,7 @@ def compare(spec: Optional[RunSpec] = None, **overrides: Any):
     config = SystemConfig(
         num_memory_nodes=spec.partitions,
         memory_budget_bytes=spec.memory_budget_bytes,
+        backend=spec.backend,
     )
     return compare_architectures(
         graph,
@@ -267,13 +280,16 @@ def sweep(
     keep_going: bool = False,
     memory_budget_bytes: Optional[int] = None,
     fault_seed: Optional[int] = None,
+    backend: str = "auto",
 ):
     """Run a multi-workload sweep; returns an ``ExperimentResult``.
 
     ``tasks`` is a sequence of :class:`~repro.experiments.sweep.SweepTask`
     (default: the Fig. 7 panel set).  ``jobs > 1`` fans out over worker
     processes sharing the CSR arrays; when a tracer is active the workers'
-    span batches are stitched into the parent timeline.
+    span batches are stitched into the parent timeline.  ``backend`` is
+    plumbed to every worker (compiled backends pay their JIT cost once per
+    worker thanks to the on-disk compilation cache).
     """
     from repro.experiments import sweep as sweep_mod
 
@@ -287,6 +303,7 @@ def sweep(
         keep_going=keep_going,
         memory_budget_bytes=memory_budget_bytes,
         fault_seed=fault_seed,
+        backend=backend,
     )
 
 

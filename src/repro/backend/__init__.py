@@ -1,0 +1,134 @@
+"""Pluggable execution backends for the engine's hot loops.
+
+Public surface:
+
+* :data:`BACKEND_CHOICES` — the values ``--backend`` accepts.
+* :func:`resolve_backend` — name → :class:`ExecutionBackend`, with the
+  fallback policy: ``auto`` silently prefers numba when importable and
+  drops to numpy otherwise; an explicit ``numba`` request on a machine
+  without numba warns **once** per process and falls back.
+* :func:`execution_plan` — backend + (kernel, graph) → possibly-downgraded
+  ``(backend, plan)`` pair; an unsupported kernel/dtype combination warns
+  once and returns the numpy oracle instead of failing the run.
+* :func:`backend_available` / :func:`numba_available` — capability probes.
+
+See :mod:`repro.backend.base` for the primitive API and the plan cache.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Set, Tuple
+
+from repro.backend.base import (
+    PRIMITIVES,
+    ExecutionBackend,
+    ExecutionPlan,
+    clear_plan_cache,
+    plan_cache_size,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.errors import BackendUnsupported, ConfigError
+from repro.graph.csr import CSRGraph
+from repro.kernels.base import VertexProgram
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "PRIMITIVES",
+    "ExecutionBackend",
+    "ExecutionPlan",
+    "backend_available",
+    "clear_plan_cache",
+    "execution_plan",
+    "list_backends",
+    "numba_available",
+    "plan_cache_size",
+    "resolve_backend",
+]
+
+#: Accepted ``--backend`` / ``RunSpec.backend`` / ``SystemConfig.backend``
+#: values.  ``auto`` means "fastest available": numba when importable,
+#: numpy otherwise — silently, so default runs never warn.
+BACKEND_CHOICES: Tuple[str, ...] = ("auto", "numpy", "numba")
+
+_NUMPY = NumpyBackend()
+_numba_singleton: Optional[ExecutionBackend] = None
+_warned: Set[str] = set()
+
+
+def list_backends() -> Tuple[str, ...]:
+    """Selectable backend names (including the ``auto`` pseudo-backend)."""
+    return BACKEND_CHOICES
+
+
+def numba_available() -> bool:
+    """Whether the numba package imports in this interpreter."""
+    try:
+        from repro.backend import numba_backend
+    except Exception:  # pragma: no cover - defensive
+        return False
+    return numba_backend.NUMBA_AVAILABLE
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can execute here (``auto``/``numpy`` always can)."""
+    if name not in BACKEND_CHOICES:
+        return False
+    return name != "numba" or numba_available()
+
+
+def resolve_backend(name: str = "auto") -> ExecutionBackend:
+    """Map a backend name to an executable backend, applying fallbacks.
+
+    ``auto`` picks numba when importable, else numpy, silently.  An
+    explicit ``numba`` on a numba-less interpreter warns once per process
+    and returns numpy.  Unknown names raise :class:`ConfigError`.
+    """
+    if name not in BACKEND_CHOICES:
+        raise ConfigError(
+            f"unknown backend {name!r}; choose from {', '.join(BACKEND_CHOICES)}"
+        )
+    if name == "numpy":
+        return _NUMPY
+    if numba_available():
+        return _numba()
+    if name == "numba":
+        _warn_once(
+            "backend 'numba' requested but the numba package is not "
+            "importable; falling back to 'numpy' "
+            "(pip install 'repro[compiled]')"
+        )
+    return _NUMPY
+
+
+def execution_plan(
+    backend: ExecutionBackend, kernel: VertexProgram, graph: CSRGraph
+) -> Tuple[ExecutionBackend, ExecutionPlan]:
+    """Build (or fetch) the plan, downgrading to numpy when unsupported."""
+    try:
+        return backend, backend.plan(kernel, graph)
+    except BackendUnsupported as exc:
+        _warn_once(str(exc))
+        return _NUMPY, _NUMPY.plan(kernel, graph)
+
+
+def _numba() -> ExecutionBackend:
+    global _numba_singleton
+    if _numba_singleton is None:
+        from repro.backend.numba_backend import NumbaBackend
+
+        _numba_singleton = NumbaBackend()
+    return _numba_singleton
+
+
+def _warn_once(message: str) -> None:
+    if message in _warned:
+        return
+    _warned.add(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def reset_backend_state() -> None:
+    """Forget warned messages and cached plans (test helper)."""
+    _warned.clear()
+    clear_plan_cache()

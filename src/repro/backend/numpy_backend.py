@@ -1,0 +1,60 @@
+"""The NumPy execution backend — default, oracle, and fallback target.
+
+This is the engine's pre-existing hot-loop code moved behind the
+:class:`~repro.backend.base.ExecutionBackend` seam *verbatim*: the ragged
+gather delegates to :func:`repro.graph.traversal._gather` (also used by the
+partitioners) and the scatter-reduce is the unbuffered ``ufunc.at`` calls
+that :meth:`repro.kernels.base.MessageSpec.combine_at` performs.  Every
+other backend is validated bit-for-bit against this one, including float64
+accumulation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend, ExecutionPlan
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import _gather
+from repro.kernels.base import VertexProgram
+
+
+class NumpyBackend(ExecutionBackend):
+    """Interpreter-resident primitives; zero compile cost, never fused."""
+
+    name = "numpy"
+
+    def gather_frontier_edges(
+        self, values: np.ndarray, starts: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
+        return _gather(values, starts, lens)
+
+    def segment_reduce(
+        self, acc: np.ndarray, idx: np.ndarray, values: np.ndarray, op: str
+    ) -> None:
+        if op == "sum":
+            np.add.at(acc, idx, values)
+        elif op == "min":
+            np.minimum.at(acc, idx, values)
+        elif op == "max":
+            np.maximum.at(acc, idx, values)
+        else:
+            raise KernelError(f"unknown reduce op {op!r}")
+
+    # apply_numeric: inherited — always False.  The oracle materializes
+    # messages through the kernel's own edge_messages hook so that hook
+    # stays the semantic definition every fused path is checked against.
+
+    def _build_plan(
+        self, kernel: VertexProgram, graph: CSRGraph
+    ) -> ExecutionPlan:
+        return ExecutionPlan(
+            backend=self.name,
+            kernel=kernel.name,
+            reduce=kernel.message.reduce,
+            index_dtype=str(graph.index_dtype),
+            weighted=graph.has_weights,
+            fused=False,
+            compile_seconds=0.0,
+        )

@@ -90,6 +90,21 @@ def add_fault_seed_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    """``--backend {auto,numpy,numba}`` for both CLIs."""
+    from repro.backend import BACKEND_CHOICES
+
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="execution backend for the engine hot loops: 'auto' uses "
+        "numba when installed (falling back to numpy silently), 'numpy' "
+        "forces the oracle, 'numba' warns once and falls back if numba "
+        "is missing; results are bit-identical across backends",
+    )
+
+
 def add_memory_budget_alias(parser: argparse.ArgumentParser) -> None:
     """Hidden ``--budget`` alias for ``--memory-budget``."""
     parser.add_argument(

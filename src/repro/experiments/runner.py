@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.cli_common import (
+    add_backend_arg,
     add_cache_dir_alias,
     add_fault_seed_arg,
     add_jobs_arg,
@@ -63,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs_arg(run_p)
     add_fault_seed_arg(run_p)
+    add_backend_arg(run_p)
     add_memory_budget_alias(run_p)
     add_observability_args(run_p)
     run_p.add_argument(
@@ -126,6 +128,7 @@ def run_experiment(
     keep_going: bool = False,
     memory_budget_bytes: Optional[int] = None,
     fault_seed: Optional[int] = None,
+    backend: str = "auto",
 ) -> str:
     """Run one experiment and return its rendered report."""
     try:
@@ -147,6 +150,7 @@ def run_experiment(
             keep_going=keep_going,
             memory_budget_bytes=memory_budget_bytes,
             fault_seed=fault_seed,
+            backend=backend,
         )
     elif experiment_id == "faults":
         result = fn(  # type: ignore[call-arg]
@@ -203,6 +207,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     keep_going=args.keep_going,
                     memory_budget_bytes=budget,
                     fault_seed=args.fault_seed,
+                    backend=args.backend,
                 )
             except ExperimentError as exc:
                 print(f"error: {exc}", file=sys.stderr)

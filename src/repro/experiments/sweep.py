@@ -205,6 +205,9 @@ class SweepTask:
     #: optional engine memory budget; over it, edge transients stream in
     #: blocks (bit-identical profiles/numerics, see the engine docs)
     memory_budget_bytes: Optional[int] = None
+    #: execution backend for the engine hot loops ("auto" picks numba when
+    #: installed; results are bit-identical across backends)
+    backend: str = "auto"
 
     @property
     def label(self) -> str:
@@ -296,6 +299,7 @@ def _task_body(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOutcom
     config = SystemConfig(
         num_memory_nodes=task.partitions,
         memory_budget_bytes=task.memory_budget_bytes,
+        backend=task.backend,
     )
     trace = record_trace(
         graph,
@@ -307,6 +311,7 @@ def _task_body(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOutcom
         seed=task.seed,
         with_mirrors=False,
         memory_budget_bytes=task.memory_budget_bytes,
+        backend=task.backend,
     )
     # One schedule built up front serves both replays — identical events.
     faults = (
@@ -633,15 +638,19 @@ def run(
     keep_going: bool = False,
     memory_budget_bytes: Optional[int] = None,
     fault_seed: Optional[int] = None,
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Sweep experiment entry point (``repro-experiments sweep``).
 
     ``fault_seed`` injects the standard mixed-fault schedule (see
-    :meth:`FaultSpec.standard`) into every workload.  When a tracer is
-    active (``repro-experiments --trace-out``), each task records its own
-    span batch — in-process or on a worker — and the batches are adopted
-    into one parent ``sweep`` span, so the timeline is coherent across
-    process boundaries.
+    :meth:`FaultSpec.standard`) into every workload.  ``backend`` selects
+    the engine execution backend for every workload's recording pass;
+    workers inherit the choice through the task, and numba's on-disk JIT
+    cache keeps the per-worker compile cost a one-time bill.  When a
+    tracer is active (``repro-experiments --trace-out``), each task
+    records its own span batch — in-process or on a worker — and the
+    batches are adopted into one parent ``sweep`` span, so the timeline
+    is coherent across process boundaries.
     """
     chosen = list(tasks) if tasks is not None else fig7_sweep_tasks(tier=tier, seed=seed)
     if memory_budget_bytes is not None:
@@ -649,6 +658,8 @@ def run(
             replace(task, memory_budget_bytes=memory_budget_bytes)
             for task in chosen
         ]
+    if backend != "auto":
+        chosen = [replace(task, backend=backend) for task in chosen]
     if fault_seed is not None:
         chosen = [
             replace(

@@ -15,6 +15,7 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.kernels.base import (
     ComputeProfile,
+    EdgeOp,
     KernelState,
     MessageSpec,
     VertexProgram,
@@ -37,6 +38,8 @@ class SSSP(VertexProgram):
     )
     needs_source = True
     uses_weights = True
+    backend_primitives = ("gather_frontier_edges", "segment_reduce", "apply_numeric")
+    edge_op = EdgeOp("src_prop_plus_weight", ("distance",))
 
     def initial_state(
         self, graph: CSRGraph, *, source: Optional[int] = None

@@ -1,0 +1,110 @@
+"""Blocked edge streaming composed with the execution backend.
+
+``--memory-budget`` and ``--backend`` are orthogonal knobs: streaming
+changes *how* edges are walked (CSR-ordered blocks), the backend changes
+*who* walks them (oracle ufuncs vs compiled loops).  Composed, they must
+still produce bit-identical profiles and property arrays — per block the
+backend's fused path sees the same consecutive edge ranges the unblocked
+path would concatenate, and ordered accumulation makes the split
+invisible.  The explicit ``numba`` selection is pinned here even on
+numpy-only machines (it exercises the fallback seam); with numba
+installed the same test covers the compiled per-block path.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.arch.trace import record_trace
+from repro.backend import reset_backend_state
+from repro.graph.generators import rmat
+from repro.kernels.registry import get_kernel, list_kernels
+
+ENGINE_KERNELS = sorted(
+    name for name in list_kernels() if get_kernel(name).supports_engine
+)
+
+#: forces multi-block streaming on rmat(12, 16) (see tests/arch/
+#: test_memory_budget.py, which pins the numpy-only equivalent)
+TIGHT_BUDGET = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def streaming_graph():
+    return rmat(12, 16, seed=11)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backend_state():
+    reset_backend_state()
+    yield
+    reset_backend_state()
+
+
+def record(graph, kernel_name, *, budget, backend):
+    kernel = get_kernel(kernel_name)
+    source = int(graph.out_degrees.argmax()) if kernel.needs_source else None
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return record_trace(
+            graph,
+            kernel,
+            num_parts=8,
+            source=source,
+            max_iterations=5,
+            seed=3,
+            with_mirrors=False,
+            memory_budget_bytes=budget,
+            backend=backend,
+        )
+
+
+@pytest.mark.parametrize("kernel_name", ("pagerank", "bfs", "sssp"))
+@pytest.mark.parametrize("backend", ("numpy", "numba"))
+def test_streamed_matches_unstreamed_per_backend(
+    streaming_graph, kernel_name, backend
+):
+    """Streamed vs unstreamed under one backend: bit-identical numerics."""
+    streamed = record(
+        streaming_graph, kernel_name, budget=TIGHT_BUDGET, backend=backend
+    )
+    unstreamed = record(
+        streaming_graph, kernel_name, budget=None, backend=backend
+    )
+    assert streamed.streamed_iterations > 0
+    assert streamed.edge_blocks >= streamed.streamed_iterations
+    assert unstreamed.streamed_iterations == 0
+
+    assert streamed.num_iterations == unstreamed.num_iterations
+    kernel = get_kernel(kernel_name)
+    np.testing.assert_array_equal(
+        kernel.result(streamed.final_state),
+        kernel.result(unstreamed.final_state),
+    )
+    for sp, up in zip(streamed.profiles, unstreamed.profiles):
+        assert sp.edges_traversed == up.edges_traversed
+        np.testing.assert_array_equal(sp.touched, up.touched)
+        np.testing.assert_array_equal(sp.changed, up.changed)
+        np.testing.assert_array_equal(sp.pair_dst, up.pair_dst)
+        np.testing.assert_array_equal(sp.pair_part, up.pair_part)
+
+
+@pytest.mark.parametrize("kernel_name", ENGINE_KERNELS)
+def test_streamed_backend_matches_streamed_oracle(streaming_graph, kernel_name):
+    """Streamed numba (or its fallback) vs streamed numpy: same bits."""
+    challenger = record(
+        streaming_graph, kernel_name, budget=TIGHT_BUDGET, backend="numba"
+    )
+    oracle = record(
+        streaming_graph, kernel_name, budget=TIGHT_BUDGET, backend="numpy"
+    )
+    assert challenger.streamed_iterations == oracle.streamed_iterations
+    assert challenger.edge_blocks == oracle.edge_blocks
+    kernel = get_kernel(kernel_name)
+    np.testing.assert_array_equal(
+        kernel.result(challenger.final_state),
+        kernel.result(oracle.final_state),
+    )

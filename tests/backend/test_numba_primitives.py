@@ -1,0 +1,168 @@
+"""Numba-vs-numpy bit-identity at the primitive level (fuzzed).
+
+The whole module skips when numba is not installed — the numpy-only
+environment still exercises the fallback policy (test_registry) and the
+oracle contract (test_primitives); this file is the compiled half of the
+contract: every primitive and every fused (edge-op, reduce) pair must be
+bit-for-bit identical to the numpy oracle across index dtypes and
+weighted/unweighted edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("numba")
+
+from repro.backend.numba_backend import NumbaBackend  # noqa: E402
+from repro.backend.numpy_backend import NumpyBackend  # noqa: E402
+from repro.graph.generators import erdos_renyi, rmat  # noqa: E402
+from repro.kernels.base import EDGE_OP_KINDS  # noqa: E402
+from repro.kernels.registry import get_kernel  # noqa: E402
+
+INDEX_DTYPES = (np.uint32, np.int64)
+
+#: every fused (edge-op kind, reduce) pair the kernels declare
+FUSED_KERNELS = (
+    "pagerank",  # src_prop_product / sum
+    "ppr",       # src_prop_product / sum
+    "bfs",       # src_id / min
+    "cc",        # src_prop / min
+    "sssp",      # src_prop_plus_weight / min
+    "widest-path",  # src_prop_min_weight / max
+    "degree",    # ones / sum
+    "kcore",     # ones / sum
+)
+
+
+@pytest.fixture(scope="module")
+def numba_backend():
+    return NumbaBackend()
+
+
+@pytest.fixture(scope="module")
+def numpy_backend():
+    return NumpyBackend()
+
+
+def edge_batch(seed, *, index_dtype, n=80, edges=600, weighted=False):
+    """Random (src, dst, weights) batch plus per-vertex property arrays."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=edges).astype(np.int64)
+    dst = rng.integers(0, n, size=edges).astype(index_dtype)
+    weights = rng.random(edges) if weighted else None
+    props = rng.standard_normal((2, n))
+    return src, dst, weights, props
+
+
+class TestGatherIdentity:
+    @pytest.mark.parametrize("index_dtype", INDEX_DTYPES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_ragged(self, seed, index_dtype, numba_backend, numpy_backend):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(400)
+        starts = rng.integers(0, 400, size=50)
+        lens = np.minimum(rng.integers(0, 10, size=50), 400 - starts)
+        starts = starts.astype(index_dtype)
+        got = numba_backend.gather_frontier_edges(values, starts, lens)
+        want = numpy_backend.gather_frontier_edges(values, starts, lens)
+        np.testing.assert_array_equal(got, want)
+        assert got.dtype == want.dtype
+
+    @pytest.mark.parametrize("index_dtype", INDEX_DTYPES)
+    def test_csr_frontier_gather(self, index_dtype, numba_backend, numpy_backend):
+        graph = rmat(8, 8, seed=3)
+        frontier = np.arange(0, graph.num_vertices, 3, dtype=np.int64)
+        starts = graph.indptr[frontier].astype(index_dtype)
+        lens = (graph.indptr[frontier + 1] - graph.indptr[frontier]).astype(
+            np.int64
+        )
+        got = numba_backend.gather_frontier_edges(graph.indices, starts, lens)
+        want = numpy_backend.gather_frontier_edges(graph.indices, starts, lens)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestSegmentReduceIdentity:
+    @pytest.mark.parametrize("index_dtype", INDEX_DTYPES)
+    @pytest.mark.parametrize("op", ("sum", "min", "max"))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fuzzed(self, seed, op, index_dtype, numba_backend, numpy_backend):
+        rng = np.random.default_rng(seed)
+        n = 70
+        idx = rng.integers(0, n, size=800).astype(index_dtype)
+        # adversarial values: repeated destinations, tiny/huge magnitudes
+        values = rng.standard_normal(800) * np.float64(10.0) ** rng.integers(
+            -12, 12, size=800
+        )
+        identity = {"sum": 0.0, "min": np.inf, "max": -np.inf}[op]
+        got = np.full(n, identity)
+        want = np.full(n, identity)
+        numba_backend.segment_reduce(got, idx, values, op)
+        numpy_backend.segment_reduce(want, idx, values, op)
+        np.testing.assert_array_equal(got, want)
+
+    def test_broadcast_weights_reach_the_loop_densified(self, numba_backend):
+        # 0-stride broadcasts (the engine's uniform-weight shortcut) must
+        # never hit the jitted loop raw.
+        acc = np.zeros(4)
+        idx = np.asarray([0, 1, 1, 3], dtype=np.int64)
+        ones = np.broadcast_to(np.float64(1.0), (4,))
+        numba_backend.segment_reduce(acc, idx, ones, "sum")
+        np.testing.assert_array_equal(acc, [1.0, 2.0, 0.0, 1.0])
+
+
+class TestFusedIdentity:
+    @pytest.mark.parametrize("index_dtype", INDEX_DTYPES)
+    @pytest.mark.parametrize("kernel_name", FUSED_KERNELS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fused_matches_messages_plus_reduce(
+        self, seed, kernel_name, index_dtype, numba_backend, numpy_backend
+    ):
+        kernel = get_kernel(kernel_name)
+        op = kernel.edge_op
+        assert op is not None, "every engine kernel declares an edge op"
+        assert op.kind in EDGE_OP_KINDS
+        weighted = op.uses_weights
+        graph = erdos_renyi(90, 700, seed=seed, weighted=weighted)
+        prepared_graph = graph.symmetrized() if kernel.requires_symmetric else graph
+        source = (
+            int(prepared_graph.out_degrees.argmax())
+            if kernel.needs_source
+            else None
+        )
+        state = kernel.initial_state(prepared_graph, source=source)
+
+        rng = np.random.default_rng(seed + 100)
+        edges = 500
+        src = rng.integers(
+            0, prepared_graph.num_vertices, size=edges
+        ).astype(np.int64)
+        dst = rng.integers(
+            0, prepared_graph.num_vertices, size=edges
+        ).astype(index_dtype)
+        weights = rng.random(edges) if weighted else None
+
+        identity = kernel.message.identity
+        n = prepared_graph.num_vertices
+        fused_acc = np.full(n, identity)
+        assert numba_backend.apply_numeric(
+            kernel, state, fused_acc, src, dst, weights
+        ), f"{kernel_name} must take the fused path"
+
+        oracle_acc = np.full(n, identity)
+        values = kernel.edge_messages(state, src, dst, weights)
+        numpy_backend.segment_reduce(
+            oracle_acc, dst, values, kernel.message.reduce
+        )
+        np.testing.assert_array_equal(fused_acc, oracle_acc)
+
+    def test_kernel_without_edge_op_declines(self, numba_backend):
+        class NoOp:
+            edge_op = None
+
+        acc = np.zeros(3)
+        assert not numba_backend.apply_numeric(
+            NoOp(), None, acc, np.zeros(1, np.int64), np.zeros(1, np.int64), None
+        )
+        np.testing.assert_array_equal(acc, np.zeros(3))

@@ -1,0 +1,107 @@
+"""Fuzzed primitive-level checks of the numpy (oracle) backend.
+
+The numpy backend *defines* the bit-identity contract — gathers are exact
+slice concatenations, ``segment_reduce`` is unbuffered ``ufunc.at`` in
+array order — so these tests pin that contract against straightforward
+reference formulations across index dtypes and weighted/unweighted data.
+(The numba side of the contract lives in ``test_numba_primitives.py``,
+which skips cleanly when numba is not installed.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.numba_backend import _dense_float64
+from repro.backend.numpy_backend import NumpyBackend
+from repro.errors import KernelError
+
+INDEX_DTYPES = (np.uint32, np.int64)
+
+
+def ragged_case(seed, *, index_dtype, n_values=500, n_slices=60):
+    """Random (values, starts, lens) triple simulating CSR frontier slices."""
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(n_values)
+    starts = rng.integers(0, n_values, size=n_slices)
+    lens = rng.integers(0, 12, size=n_slices)
+    lens = np.minimum(lens, n_values - starts)
+    return values, starts.astype(index_dtype), lens.astype(np.int64)
+
+
+def gather_reference(values, starts, lens):
+    out = [values[int(s) : int(s) + int(l)] for s, l in zip(starts, lens)]
+    return (
+        np.concatenate(out) if out else np.empty(0, dtype=values.dtype)
+    )
+
+
+class TestNumpyGather:
+    @pytest.mark.parametrize("index_dtype", INDEX_DTYPES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_slice_concatenation(self, seed, index_dtype):
+        values, starts, lens = ragged_case(seed, index_dtype=index_dtype)
+        got = NumpyBackend().gather_frontier_edges(values, starts, lens)
+        np.testing.assert_array_equal(got, gather_reference(values, starts, lens))
+
+    def test_empty_frontier(self):
+        backend = NumpyBackend()
+        out = backend.gather_frontier_edges(
+            np.arange(10.0),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        assert out.size == 0
+
+    @pytest.mark.parametrize("index_dtype", INDEX_DTYPES)
+    def test_preserves_value_dtype(self, index_dtype):
+        values = np.arange(20, dtype=np.uint32)
+        starts = np.asarray([0, 10], dtype=index_dtype)
+        lens = np.asarray([5, 5], dtype=np.int64)
+        out = NumpyBackend().gather_frontier_edges(values, starts, lens)
+        assert out.dtype == np.uint32
+
+
+class TestNumpySegmentReduce:
+    @pytest.mark.parametrize("index_dtype", INDEX_DTYPES)
+    @pytest.mark.parametrize("op,ufunc", [
+        ("sum", np.add),
+        ("min", np.minimum),
+        ("max", np.maximum),
+    ])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_ufunc_at(self, seed, op, ufunc, index_dtype):
+        rng = np.random.default_rng(seed)
+        n = 64
+        idx = rng.integers(0, n, size=900).astype(index_dtype)
+        values = rng.standard_normal(900)
+        identity = {"sum": 0.0, "min": np.inf, "max": -np.inf}[op]
+
+        got = np.full(n, identity)
+        NumpyBackend().segment_reduce(got, idx, values, op)
+        want = np.full(n, identity)
+        ufunc.at(want, idx, values)
+        np.testing.assert_array_equal(got, want)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KernelError, match="unknown reduce op"):
+            NumpyBackend().segment_reduce(
+                np.zeros(4), np.zeros(2, dtype=np.int64), np.ones(2), "prod"
+            )
+
+
+class TestDenseFloat64:
+    def test_materializes_zero_stride_broadcast(self):
+        broadcast = np.broadcast_to(np.float64(1.0), (7,))
+        dense = _dense_float64(broadcast)
+        assert dense.strides[0] != 0
+        np.testing.assert_array_equal(dense, np.ones(7))
+
+    def test_passes_real_arrays_through(self):
+        arr = np.arange(5.0)
+        assert _dense_float64(arr) is arr
+
+    def test_empty_broadcast(self):
+        dense = _dense_float64(np.broadcast_to(np.float64(2.0), (0,)))
+        assert dense.size == 0

@@ -1,0 +1,197 @@
+"""Backend registry: resolution, fallback policy, plan cache, plumbing.
+
+The fallback contract under test: ``auto`` silently prefers numba and
+silently drops to numpy when it is missing; an *explicit* ``numba``
+request on a numba-less interpreter warns exactly once per process and
+still runs (on numpy); an unsupported (kernel, backend) combination
+downgrades the plan to numpy with one warning instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.backend as backend_mod
+from repro.backend import (
+    BACKEND_CHOICES,
+    ExecutionBackend,
+    ExecutionPlan,
+    backend_available,
+    clear_plan_cache,
+    execution_plan,
+    list_backends,
+    numba_available,
+    plan_cache_size,
+    resolve_backend,
+    reset_backend_state,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.errors import BackendUnsupported, ConfigError
+from repro.graph.generators import rmat
+from repro.kernels.registry import get_kernel
+from repro.runtime.config import SystemConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backend_state():
+    reset_backend_state()
+    yield
+    reset_backend_state()
+
+
+class TestResolution:
+    def test_choices_are_the_cli_vocabulary(self):
+        assert BACKEND_CHOICES == ("auto", "numpy", "numba")
+        assert list_backends() == BACKEND_CHOICES
+
+    def test_numpy_resolves_to_the_oracle(self):
+        backend = resolve_backend("numpy")
+        assert isinstance(backend, NumpyBackend)
+        assert backend.name == "numpy"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            resolve_backend("cuda")
+
+    def test_availability_probes(self):
+        assert backend_available("auto")
+        assert backend_available("numpy")
+        assert backend_available("numba") == numba_available()
+        assert not backend_available("cuda")
+
+    @pytest.mark.skipif(numba_available(), reason="needs a numba-less env")
+    def test_auto_falls_back_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            backend = resolve_backend("auto")
+        assert backend.name == "numpy"
+
+    @pytest.mark.skipif(numba_available(), reason="needs a numba-less env")
+    def test_explicit_numba_warns_once_then_stays_quiet(self):
+        with pytest.warns(RuntimeWarning, match="falling back to 'numpy'"):
+            backend = resolve_backend("numba")
+        assert backend.name == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("numba").name == "numpy"
+
+    @pytest.mark.skipif(numba_available(), reason="needs a numba-less env")
+    def test_numba_backend_constructor_refuses(self):
+        from repro.backend.numba_backend import NumbaBackend
+
+        with pytest.raises(BackendUnsupported, match="repro\\[compiled\\]"):
+            NumbaBackend()
+
+    def test_auto_prefers_numba_when_importable(self, monkeypatch):
+        class FakeNumba(ExecutionBackend):
+            name = "numba"
+
+            def gather_frontier_edges(self, values, starts, lens):
+                raise NotImplementedError
+
+            def segment_reduce(self, acc, idx, values, op):
+                raise NotImplementedError
+
+            def _build_plan(self, kernel, graph):
+                raise NotImplementedError
+
+        fake = FakeNumba()
+        monkeypatch.setattr(backend_mod, "numba_available", lambda: True)
+        monkeypatch.setattr(backend_mod, "_numba_singleton", fake)
+        assert resolve_backend("auto") is fake
+        assert resolve_backend("numba") is fake
+        assert isinstance(resolve_backend("numpy"), NumpyBackend)
+
+
+class TestExecutionPlan:
+    def test_unsupported_combo_downgrades_to_numpy(self):
+        class Refusing(ExecutionBackend):
+            name = "refusing"
+
+            def gather_frontier_edges(self, values, starts, lens):
+                raise NotImplementedError
+
+            def segment_reduce(self, acc, idx, values, op):
+                raise NotImplementedError
+
+            def _build_plan(self, kernel, graph):
+                raise BackendUnsupported("cannot specialize this combo")
+
+        graph = rmat(6, 4, seed=1)
+        kernel = get_kernel("pagerank")
+        with pytest.warns(RuntimeWarning, match="cannot specialize"):
+            backend, plan = execution_plan(Refusing(), kernel, graph)
+        assert backend.name == "numpy"
+        assert plan.backend == "numpy"
+
+    def test_plan_cache_hits_per_kernel_and_graph(self):
+        graph = rmat(6, 4, seed=1)
+        backend = NumpyBackend()
+        clear_plan_cache()
+
+        first = backend.plan(get_kernel("pagerank"), graph)
+        assert not first.cached
+        assert plan_cache_size() == 1
+
+        again = backend.plan(get_kernel("pagerank"), graph)
+        assert again.cached
+        assert plan_cache_size() == 1
+
+        other_kernel = backend.plan(get_kernel("bfs"), graph)
+        assert not other_kernel.cached
+        assert plan_cache_size() == 2
+
+        # Content-addressed: an equal re-generated graph reuses the plan,
+        # a structurally different one does not.
+        assert backend.plan(get_kernel("pagerank"), rmat(6, 4, seed=1)).cached
+        assert not backend.plan(get_kernel("pagerank"), rmat(6, 4, seed=2)).cached
+
+    def test_numpy_plan_shape(self):
+        graph = rmat(6, 4, seed=1)
+        plan = NumpyBackend().plan(get_kernel("pagerank"), graph)
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.backend == "numpy"
+        assert plan.kernel == "pagerank"
+        assert plan.reduce == "sum"
+        assert not plan.fused
+        assert plan.compile_seconds == 0.0
+
+
+class TestPlumbing:
+    def test_system_config_validates_backend(self):
+        assert SystemConfig(backend="numpy").backend == "numpy"
+        with pytest.raises(ConfigError, match="backend"):
+            SystemConfig(backend="cuda")
+
+    def test_run_spec_validates_backend(self):
+        from repro.api import RunSpec
+
+        assert RunSpec(backend="numba").backend == "numba"
+        with pytest.raises(ConfigError, match="backend"):
+            RunSpec(backend="fortran")
+
+    def test_run_cli_accepts_backend(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--dataset", "livejournal-sim", "--kernel", "pagerank",
+             "--backend", "numpy"]
+        )
+        assert args.backend == "numpy"
+
+    def test_experiments_cli_accepts_backend(self):
+        from repro.experiments.runner import build_parser
+
+        args = build_parser().parse_args(["run", "sweep", "--backend", "numba"])
+        assert args.backend == "numba"
+
+    def test_sweep_task_carries_backend(self):
+        from dataclasses import replace
+
+        from repro.experiments.sweep import SweepTask
+
+        task = SweepTask("livejournal-sim", "pagerank", 8)
+        assert task.backend == "auto"
+        assert replace(task, backend="numpy").backend == "numpy"
