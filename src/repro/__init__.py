@@ -34,12 +34,14 @@ from repro.errors import (
     ConfigError,
     ExperimentError,
     FaultError,
+    JournalError,
     GraphError,
     KernelError,
     PartitionError,
     RecoveryError,
     ReproError,
     SimulationError,
+    SweepInterrupted,
 )
 from repro.faults import (
     AdaptiveCheckpoint,
@@ -104,6 +106,7 @@ from repro.arch import (
 )
 from repro.api import (
     RunSpec,
+    SweepSpec,
     compare,
     load_dataset,
     partition,
@@ -149,6 +152,7 @@ __all__ = [
     "__version__",
     # facade
     "RunSpec",
+    "SweepSpec",
     "run",
     "compare",
     "sweep",
@@ -163,6 +167,8 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "ExperimentError",
+    "JournalError",
+    "SweepInterrupted",
     "FaultError",
     "RecoveryError",
     # faults

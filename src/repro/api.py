@@ -84,6 +84,7 @@ from repro.kernels.base import (
 
 __all__ = [
     "RunSpec",
+    "SweepSpec",
     "run",
     "compare",
     "sweep",
@@ -269,41 +270,95 @@ def compare(spec: Optional[RunSpec] = None, **overrides: Any):
     )
 
 
+@dataclass(frozen=True, kw_only=True)
+class SweepSpec:
+    """Frozen description of how a sweep *executes* — the facade's value
+    object for everything around the task list (the workloads themselves
+    are :class:`~repro.experiments.sweep.SweepTask` objects).
+
+    Serializes trivially, so a driver script can persist the spec next to
+    the journal and re-create the exact resume call after a crash::
+
+        spec = repro.SweepSpec(jobs=4, journal_path="sweep.journal")
+        repro.sweep(spec=spec)                       # killed mid-run...
+        repro.sweep(spec=replace(spec, resume=True)) # ...continues
+    """
+
+    tier: str = "small"
+    seed: int = 7
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 2
+    keep_going: bool = False
+    memory_budget_bytes: Optional[int] = None
+    fault_seed: Optional[int] = None
+    backend: str = "auto"
+    #: write-ahead journal file; arms crash-safe resumability
+    journal_path: Optional[str] = None
+    #: resume a journaled sweep instead of starting fresh
+    resume: bool = False
+    #: quarantine a task after it kills the worker pool this many times
+    poison_threshold: Optional[int] = None
+    #: declare a worker hung after its heartbeat is stale this long
+    heartbeat_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.resume and self.journal_path is None:
+            raise ConfigError("resume=True requires journal_path")
+
+
+_SWEEP_FIELDS = frozenset(f.name for f in fields(SweepSpec))
+
+
 def sweep(
     tasks: Optional[Sequence[Any]] = None,
     *,
-    tier: str = "small",
-    seed: int = 7,
-    jobs: int = 1,
-    timeout: Optional[float] = None,
-    retries: int = 2,
-    keep_going: bool = False,
-    memory_budget_bytes: Optional[int] = None,
-    fault_seed: Optional[int] = None,
-    backend: str = "auto",
+    spec: Optional[SweepSpec] = None,
+    **overrides: Any,
 ):
     """Run a multi-workload sweep; returns an ``ExperimentResult``.
 
     ``tasks`` is a sequence of :class:`~repro.experiments.sweep.SweepTask`
-    (default: the Fig. 7 panel set).  ``jobs > 1`` fans out over worker
-    processes sharing the CSR arrays; when a tracer is active the workers'
-    span batches are stitched into the parent timeline.  ``backend`` is
-    plumbed to every worker (compiled backends pay their JIT cost once per
-    worker thanks to the on-disk compilation cache).
+    (default: the Fig. 7 panel set); ``spec`` is a :class:`SweepSpec`
+    describing the execution (jobs, retries, journal, ...), with keyword
+    overrides winning as usual.  ``jobs > 1`` fans out over supervised
+    worker processes sharing the CSR arrays; when a tracer is active the
+    workers' span batches are stitched into the parent timeline.
+    ``journal_path``/``resume`` make the sweep crash-safe: a killed run
+    restarted with ``resume=True`` skips completed tasks and produces
+    merged results bit-identical to an uninterrupted run.
     """
     from repro.experiments import sweep as sweep_mod
 
+    unknown = set(overrides) - _SWEEP_FIELDS
+    if unknown:
+        raise ConfigError(
+            f"unknown SweepSpec field(s) {sorted(unknown)}; "
+            f"valid fields: {sorted(_SWEEP_FIELDS)}"
+        )
+    if spec is None:
+        spec = SweepSpec(**overrides)
+    elif not isinstance(spec, SweepSpec):
+        raise ConfigError(f"spec must be a SweepSpec, got {type(spec).__name__}")
+    elif overrides:
+        spec = replace(spec, **overrides)
     return sweep_mod.run(
-        tier=tier,
-        seed=seed,
-        jobs=jobs,
+        tier=spec.tier,
+        seed=spec.seed,
+        jobs=spec.jobs,
         tasks=tasks,
-        timeout=timeout,
-        retries=retries,
-        keep_going=keep_going,
-        memory_budget_bytes=memory_budget_bytes,
-        fault_seed=fault_seed,
-        backend=backend,
+        timeout=spec.timeout,
+        retries=spec.retries,
+        keep_going=spec.keep_going,
+        memory_budget_bytes=spec.memory_budget_bytes,
+        fault_seed=spec.fault_seed,
+        backend=spec.backend,
+        journal_path=spec.journal_path,
+        resume=spec.resume,
+        poison_threshold=spec.poison_threshold,
+        heartbeat_timeout_s=spec.heartbeat_timeout_s,
     )
 
 

@@ -3,7 +3,9 @@
 Subcommands:
 
 * ``stats`` — entry counts and byte totals per artifact kind;
-* ``clear`` — delete every cached artifact under the cache root.
+* ``clear`` — delete every cached artifact under the cache root;
+* ``verify`` — read every entry in full and report (or ``--evict``)
+  corrupt ones; exits 1 when corruption is found and left in place.
 
 The cache directory resolves from ``--cache-dir``, then the
 ``REPRO_CACHE_DIR`` environment variable.
@@ -42,6 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("stats", help="show entry counts and sizes")
     sub.add_parser("clear", help="delete every cached artifact")
+    verify_p = sub.add_parser(
+        "verify", help="scan every entry for corruption (full reads)"
+    )
+    verify_p.add_argument(
+        "--evict",
+        action="store_true",
+        help="delete corrupt entries instead of just reporting them",
+    )
     return parser
 
 
@@ -74,6 +84,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         removed = cache.clear()
         print(f"removed {removed} entries from {cache_dir}")
         return 0
+    if args.command == "verify":
+        report = cache.verify(evict=args.evict)
+        print(
+            f"scanned {report['scanned']} entries under {report['root']}: "
+            f"{len(report['corrupt'])} corrupt, {report['evicted']} evicted"
+        )
+        for item in report["corrupt"]:
+            print(f"  corrupt [{item['kind']}] {item['path']}")
+        return 1 if report["corrupt"] and not args.evict else 0
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

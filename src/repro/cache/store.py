@@ -200,6 +200,61 @@ class ArtifactCache:
                     removed += 1
         return removed
 
+    def verify(self, *, evict: bool = False) -> Dict[str, Any]:
+        """Scan every entry for corruption; optionally evict the broken ones.
+
+        Normal reads already treat corrupt entries as misses, but a sweep
+        only discovers that at the moment it wanted the artifact.  This is
+        the offline version — ``repro-cache verify`` after a machine crash
+        or disk scare — and it reads *every* array of every entry in full
+        (``np.load`` is lazy; a truncated member only fails when
+        materialized), so a clean report means the cache is actually
+        readable end to end.
+        """
+        scanned = 0
+        corrupt: list = []
+        evicted = 0
+        for kind in _VALID_KINDS:
+            for path in sorted(self._entries(kind)):
+                scanned += 1
+                if self._entry_ok(path):
+                    continue
+                corrupt.append({"kind": kind, "path": str(path)})
+                self.counters.add(f"cache.{kind}.corrupt")
+                if evict and self._evict(path):
+                    evicted += 1
+        METRICS.counter(M.CACHE_VERIFY_SCANNED).inc(scanned)
+        if corrupt:
+            METRICS.counter(M.CACHE_VERIFY_CORRUPT).inc(len(corrupt))
+        if evicted:
+            METRICS.counter(M.CACHE_VERIFY_EVICTED).inc(evicted)
+        get_tracer().event(
+            "cache-verify",
+            scanned=scanned,
+            corrupt=len(corrupt),
+            evicted=evicted,
+        )
+        return {
+            "root": str(self.root),
+            "scanned": scanned,
+            "corrupt": corrupt,
+            "evicted": evicted,
+        }
+
+    @staticmethod
+    def _entry_ok(path: Path) -> bool:
+        """True iff the entry parses *and* all its arrays fully read."""
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if _META_FIELD not in payload.files:
+                    return False
+                json.loads(bytes(payload[_META_FIELD].tobytes()))
+                for name in payload.files:
+                    np.asarray(payload[name])
+        except Exception:
+            return False
+        return True
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #

@@ -92,6 +92,27 @@ class ExperimentError(ReproError):
     """An experiment harness was invoked with invalid parameters."""
 
 
+class JournalError(ExperimentError):
+    """A sweep write-ahead journal is unusable for the requested operation.
+
+    Raised when a journal file is missing/empty on ``--resume``, is not a
+    sweep journal at all, or pins a different task list than the sweep
+    being resumed (the header's content-addressed ``sweep`` digest does
+    not match).  *Torn tails* — a partial final record left by a crash —
+    are **not** errors: recovery silently discards them.
+    """
+
+
+class SweepInterrupted(ExperimentError):
+    """A sweep shut down gracefully on SIGINT/SIGTERM.
+
+    By the time this is raised the journal (when one is active) has been
+    flushed and closed, worker processes have been killed, and every
+    shared-memory segment has been unlinked — restarting with ``--resume``
+    continues from the last completed task.
+    """
+
+
 class MetricError(ReproError):
     """An undeclared metric name was used, or a declared one was misused.
 

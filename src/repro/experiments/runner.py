@@ -113,6 +113,59 @@ def build_parser() -> argparse.ArgumentParser:
         "(default)",
     )
     fail_mode.set_defaults(keep_going=False)
+    run_p.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="write a crash-safe write-ahead journal of the 'sweep' "
+        "experiment to FILE (one fsync'd JSONL record per task event)",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a journaled sweep: completed tasks are skipped and "
+        "their journaled outcomes reused verbatim (requires --journal)",
+    )
+    run_p.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=None,
+        metavar="K",
+        help="quarantine a sweep task after it kills the worker pool K "
+        "times instead of burning the retry budget on it",
+    )
+    run_p.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="declare a sweep worker hung when its heartbeat goes stale "
+        "for this long (default: 30)",
+    )
+    run_p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="arm the process-level chaos harness for the 'sweep' "
+        "experiment (deterministic victim choice; see repro.chaos)",
+    )
+    run_p.add_argument(
+        "--chaos-kill",
+        type=int,
+        default=0,
+        metavar="N",
+        help="SIGKILL the worker running each of N victim tasks "
+        "(requires --chaos-seed)",
+    )
+    run_p.add_argument(
+        "--chaos-hang",
+        type=int,
+        default=0,
+        metavar="N",
+        help="SIGSTOP the worker running each of N victim tasks "
+        "(requires --chaos-seed)",
+    )
     return parser
 
 
@@ -129,6 +182,11 @@ def run_experiment(
     memory_budget_bytes: Optional[int] = None,
     fault_seed: Optional[int] = None,
     backend: str = "auto",
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    poison_threshold: Optional[int] = None,
+    heartbeat_timeout_s: float = 30.0,
+    chaos_spec=None,
 ) -> str:
     """Run one experiment and return its rendered report."""
     try:
@@ -151,6 +209,11 @@ def run_experiment(
             memory_budget_bytes=memory_budget_bytes,
             fault_seed=fault_seed,
             backend=backend,
+            journal_path=journal_path,
+            resume=resume,
+            poison_threshold=poison_threshold,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            chaos_spec=chaos_spec,
         )
     elif experiment_id == "faults":
         result = fn(  # type: ignore[call-arg]
@@ -189,6 +252,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.resume and args.journal is None:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    chaos_spec = None
+    if args.chaos_seed is not None:
+        from repro.chaos import ChaosSpec
+
+        chaos_spec = ChaosSpec(
+            seed=args.chaos_seed,
+            kill_tasks=args.chaos_kill,
+            hang_tasks=args.chaos_hang,
+        )
+    elif args.chaos_kill or args.chaos_hang:
+        print(
+            "error: --chaos-kill/--chaos-hang require --chaos-seed",
+            file=sys.stderr,
+        )
+        return 2
     with tracing_session(
         trace_out=args.trace_out,
         jsonl_out=args.trace_events,
@@ -208,6 +289,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     memory_budget_bytes=budget,
                     fault_seed=args.fault_seed,
                     backend=args.backend,
+                    journal_path=args.journal,
+                    resume=args.resume,
+                    poison_threshold=args.quarantine_after,
+                    heartbeat_timeout_s=args.heartbeat_timeout,
+                    chaos_spec=chaos_spec,
                 )
             except ExperimentError as exc:
                 print(f"error: {exc}", file=sys.stderr)

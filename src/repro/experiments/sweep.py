@@ -26,28 +26,38 @@ import hashlib
 import json
 import os
 import secrets
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from multiprocessing import get_context
 from multiprocessing import shared_memory
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import chaos as chaos_mod
 from repro.arch.disaggregated import DisaggregatedSimulator
 from repro.arch.disaggregated_ndp import DisaggregatedNDPSimulator
 from repro.arch.trace import record_trace
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepInterrupted
 from repro.experiments.common import DEFAULT_SEED, DEFAULT_TIER, ExperimentResult
 from repro.experiments.fig7 import PANELS
+from repro.experiments.journal import (
+    SweepJournal,
+    outcome_from_json,
+    task_digest,
+)
 from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.graph.csr import CSRGraph
 from repro.cache import load_dataset_cached
+from repro.chaos import ChaosPlan, ChaosSpec
 from repro.kernels.registry import get_kernel
+from repro.obs.metrics import METRICS, M
 from repro.obs.span import (
     CATEGORY_RUN,
     CATEGORY_TASK,
@@ -243,6 +253,10 @@ class SweepOutcome:
     #: failure description when the task exhausted its retries under
     #: ``keep_going`` (every measurement field is then zero/empty)
     error: Optional[str] = None
+    #: the task was quarantined as a poison task: it killed the worker
+    #: pool ``poison_threshold`` times, so the sweep set it aside (with
+    #: this diagnostic outcome) instead of burning retries on it
+    quarantined: bool = False
     #: serialized span batch (``Tracer.to_batch()``) recorded inside the
     #: task when span collection is on — plain dicts, so it survives the
     #: process boundary and the parent can ``adopt_batch`` it
@@ -348,7 +362,12 @@ def _task_body(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOutcom
 
 
 def _failed_outcome(
-    task: SweepTask, graph_name: str, error: str, attempts: int
+    task: SweepTask,
+    graph_name: str,
+    error: str,
+    attempts: int,
+    *,
+    quarantined: bool = False,
 ) -> SweepOutcome:
     """Placeholder outcome for a task that exhausted its retries."""
     return SweepOutcome(
@@ -363,6 +382,7 @@ def _failed_outcome(
         cache_misses=0,
         attempts=attempts,
         error=error,
+        quarantined=quarantined,
     )
 
 
@@ -371,23 +391,160 @@ def _failed_outcome(
 _ATTACHED: Dict[Tuple[str, ...], Tuple[CSRGraph, List[shared_memory.SharedMemory]]] = {}
 
 
+# --------------------------------------------------------------------------- #
+# Worker supervision: heartbeats + liveness
+# --------------------------------------------------------------------------- #
+
+#: Per-worker slot layout in the shared heartbeat array:
+#: [last_beat_ts, busy_task_index + 1 (0 = idle), task_start_ts, pid]
+_HB_FIELDS = 4
+
+#: Parent-side supervision poll cadence (also bounds signal latency).
+_POLL_S = 0.1
+
+#: Worker-side slot handle, set by :func:`_worker_init` (fork pools only).
+_HB_SLOT: Optional[Tuple[object, int]] = None
+
+
+def _worker_init(array, counter, interval: float) -> None:
+    """Claim a heartbeat slot and start the beat thread (runs in workers)."""
+    global _HB_SLOT
+    with counter.get_lock():
+        slot = counter.value
+        counter.value += 1
+    slots = len(array) // _HB_FIELDS
+    base = (slot % slots) * _HB_FIELDS
+    now = time.time()
+    array[base] = now
+    array[base + 1] = 0.0
+    array[base + 2] = 0.0
+    array[base + 3] = float(os.getpid())
+    _HB_SLOT = (array, base)
+    beat = threading.Thread(
+        target=_heartbeat_loop, args=(array, base, interval), daemon=True
+    )
+    beat.start()
+
+
+def _heartbeat_loop(array, base: int, interval: float) -> None:
+    # A frozen process (SIGSTOP, unkillable D-state) stops this thread with
+    # it — which is exactly the signal the parent's supervisor watches for.
+    while True:
+        array[base] = time.time()
+        time.sleep(interval)
+
+
+def _mark_busy(task_index: int) -> None:
+    if _HB_SLOT is None:
+        return
+    array, base = _HB_SLOT
+    now = time.time()
+    array[base + 2] = now
+    array[base + 1] = float(task_index + 1)
+    array[base] = now
+
+
+def _mark_idle() -> None:
+    if _HB_SLOT is None:
+        return
+    array, base = _HB_SLOT
+    array[base + 1] = 0.0
+    array[base + 2] = 0.0
+    array[base] = time.time()
+
+
+class _Heartbeats:
+    """Parent-side view of one pool round's shared heartbeat slots."""
+
+    def __init__(self, mp_ctx, slots: int, *, heartbeat_timeout_s: float) -> None:
+        self.slots = slots
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.interval = min(0.25, heartbeat_timeout_s / 5.0)
+        self.array = mp_ctx.Array("d", slots * _HB_FIELDS, lock=False)
+        self.counter = mp_ctx.Value("i", 0)
+
+    def initargs(self) -> Tuple:
+        return (self.array, self.counter, self.interval)
+
+    def _slot(self, slot: int) -> Tuple[float, Optional[int], float, int]:
+        base = slot * _HB_FIELDS
+        busy_raw = self.array[base + 1]
+        busy = int(busy_raw) - 1 if busy_raw >= 1.0 else None
+        return (
+            self.array[base],
+            busy,
+            self.array[base + 2],
+            int(self.array[base + 3]),
+        )
+
+    def busy_tasks_for_pids(
+        self, pids: Set[int], remaining: Set[int]
+    ) -> Set[int]:
+        """Task indices that were running on the given (dead) workers."""
+        charged: Set[int] = set()
+        for slot in range(self.slots):
+            _beat, busy, _start, pid = self._slot(slot)
+            if pid and pid in pids and busy is not None and busy in remaining:
+                charged.add(busy)
+        return charged
+
+    def check(
+        self, *, remaining: Set[int], timeout: Optional[float]
+    ) -> Optional[Tuple[Dict[int, str], str]]:
+        """Detect a hung worker or an over-budget task.
+
+        Returns ``(charged, kind)`` on detection: ``charged`` maps the
+        task indices to blame onto failure messages (possibly empty when
+        an *idle* worker stalled), ``kind`` is ``"timeout"`` or
+        ``"hang"``.  ``None`` means all clear.
+        """
+        now = time.time()
+        for slot in range(self.slots):
+            beat, busy, start, pid = self._slot(slot)
+            if pid == 0:  # slot never claimed (pool smaller than jobs)
+                continue
+            if (
+                timeout is not None
+                and busy is not None
+                and busy in remaining
+                and start > 0
+                and now - start > timeout
+            ):
+                return {busy: f"timed out after {timeout:g}s"}, "timeout"
+            stale = now - beat
+            if stale > self.heartbeat_timeout_s:
+                charged: Dict[int, str] = {}
+                if busy is not None and busy in remaining:
+                    charged[busy] = (
+                        f"worker hung: heartbeat stale for {stale:.1f}s"
+                    )
+                return charged, "hang"
+        return None
+
+
 def _worker_execute(
     task: SweepTask,
     spec: SharedGraphSpec,
     graph_name: str,
     *,
-    crash: bool = False,
+    task_index: int = 0,
+    chaos: Optional[str] = None,
     collect_spans: bool = False,
 ) -> SweepOutcome:
-    if crash:
-        # Test hook: die the way a real worker does (OOM-killed, segfaulted)
-        # — no exception, no cleanup, the pool just loses the process.
-        os._exit(3)
-    key = spec.segment_names
-    if key not in _ATTACHED:
-        _ATTACHED[key] = attach_shared_graph(spec)
-    graph, _segments = _ATTACHED[key]
-    return _execute_task(task, graph, graph_name, collect_spans=collect_spans)
+    _mark_busy(task_index)
+    try:
+        if chaos is not None:
+            # Injected process-level fault: die (or freeze) the way a real
+            # worker does — OOM-killed, segfaulted, wedged.  No exception,
+            # no cleanup; the supervisor has to notice on its own.
+            chaos_mod.apply_in_worker(chaos)
+        key = spec.segment_names
+        if key not in _ATTACHED:
+            _ATTACHED[key] = attach_shared_graph(spec)
+        graph, _segments = _ATTACHED[key]
+        return _execute_task(task, graph, graph_name, collect_spans=collect_spans)
+    finally:
+        _mark_idle()
 
 
 # --------------------------------------------------------------------------- #
@@ -437,13 +594,99 @@ def published_graphs(
                 pass
 
 
-def _terminate_workers(pool: ProcessPoolExecutor) -> None:
-    """Kill a pool's worker processes (a timed-out task never yields)."""
-    for proc in list(getattr(pool, "_processes", {}).values()):
+def _kill_workers(procs: Sequence) -> None:
+    """SIGKILL worker processes (SIGTERM never reaches a SIGSTOP'd one)."""
+    for proc in procs:
         try:
-            proc.terminate()
+            proc.kill()
         except Exception:  # pragma: no cover - already dead
             pass
+
+
+def _merged_chaos(
+    crash_plan: Optional[Mapping[str, int]],
+    chaos_plan: Optional[ChaosPlan],
+) -> ChaosPlan:
+    """Fold the legacy ``crash_plan`` counts into one consumable plan."""
+    merged = ChaosPlan()
+    for label, count in (crash_plan or {}).items():
+        merged.actions.setdefault(label, []).extend(["crash"] * int(count))
+    if chaos_plan is not None:
+        for label, kinds in chaos_plan.actions.items():
+            merged.actions.setdefault(label, []).extend(kinds)
+    return merged
+
+
+class _JournalSession:
+    """Journal plumbing for one ``run_sweep`` call (no-op without a path).
+
+    Owns open/resume/record/close so the runner body stays readable; every
+    method is safe to call when journaling is off.
+    """
+
+    def __init__(
+        self,
+        journal_path: Optional[str],
+        resume: bool,
+        tasks: Sequence[SweepTask],
+        *,
+        jobs: int,
+    ) -> None:
+        self.journal: Optional[SweepJournal] = None
+        self.resumed: Dict[int, SweepOutcome] = {}
+        self.torn_records = 0
+        if journal_path is None:
+            if resume:
+                raise ExperimentError(
+                    "resume requires a journal path (pass journal_path=...)"
+                )
+            self._digests: List[str] = []
+            return
+        self._digests = [task_digest(task) for task in tasks]
+        if resume:
+            self.journal, recovery = SweepJournal.resume(journal_path, tasks)
+            self.torn_records = recovery.torn_records
+            for idx, record in recovery.completed.items():
+                if 0 <= idx < len(tasks):
+                    self.resumed[idx] = outcome_from_json(
+                        record["outcome"], tasks[idx]
+                    )
+            if self.resumed:
+                METRICS.counter(M.SWEEP_TASKS_RESUMED).inc(len(self.resumed))
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "journal-resume",
+                    path=str(journal_path),
+                    resumed=len(self.resumed),
+                    in_flight=len(recovery.in_flight()),
+                    torn_records=recovery.torn_records,
+                )
+        else:
+            self.journal = SweepJournal.create(
+                journal_path, tasks, meta={"jobs": jobs}
+            )
+
+    def start(self, idx: int, attempt: int) -> None:
+        if self.journal is not None:
+            self.journal.start(idx, self._digests[idx], attempt)
+
+    def outcome(self, idx: int, status: str, outcome: SweepOutcome) -> None:
+        if self.journal is not None:
+            self.journal.outcome(idx, status, outcome)
+
+    def interrupt(self, reason: str) -> None:
+        if self.journal is not None:
+            self.journal.interrupt(reason)
+
+    def end(self, results: Mapping[int, SweepOutcome]) -> None:
+        if self.journal is not None:
+            ok = sum(1 for out in results.values() if out.ok)
+            self.journal.end(ok=ok, failed=len(results) - ok)
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
 
 
 def run_sweep(
@@ -453,26 +696,48 @@ def run_sweep(
     timeout: Optional[float] = None,
     retries: int = 2,
     backoff_s: float = 0.25,
+    backoff_cap_s: float = 8.0,
     keep_going: bool = False,
     crash_plan: Optional[Mapping[str, int]] = None,
+    chaos_plan: Optional[ChaosPlan] = None,
     collect_spans: bool = False,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    poison_threshold: Optional[int] = None,
+    heartbeat_timeout_s: float = 30.0,
 ) -> List[SweepOutcome]:
     """Run every task and return outcomes in task order.
 
     ``jobs <= 1`` runs in-process.  Otherwise each distinct ``(dataset,
     tier, seed)`` graph is loaded once, published to shared memory, and the
-    tasks fan out over a ``ProcessPoolExecutor``.
+    tasks fan out over a supervised ``ProcessPoolExecutor``: every worker
+    carries a heartbeat thread writing into a shared slot, and the parent
+    polls liveness, heartbeat freshness, and per-task wall clocks instead
+    of blocking on futures — so a *hung* worker (frozen, not crashed) is
+    detected within ``heartbeat_timeout_s`` and its task rescheduled.
 
-    Crashed workers (``BrokenProcessPool``) and per-task ``timeout``
-    expiries are retried up to ``retries`` times with exponential backoff
-    (``backoff_s * 2**attempt``); deterministic in-task exceptions are not
-    retried.  With ``keep_going`` a task that exhausts its retries becomes
-    a placeholder outcome carrying ``error`` (the rest of the sweep
-    completes); the default fail-fast mode raises ``ExperimentError``.
+    Crashed workers (``BrokenProcessPool`` / dead pids), stale heartbeats,
+    and per-task ``timeout`` expiries are retried up to ``retries`` times
+    with exponential backoff (``backoff_s * 2**round``, capped at
+    ``backoff_cap_s`` and interruptible by SIGINT/SIGTERM); deterministic
+    in-task exceptions are not retried.  With ``keep_going`` a task that
+    exhausts its retries becomes a placeholder outcome carrying ``error``
+    (the rest of the sweep completes); the default fail-fast mode raises
+    ``ExperimentError``.  With ``poison_threshold=K`` a task that kills
+    the pool K times is *quarantined* — recorded as a diagnostic outcome
+    (``quarantined=True``) and set aside — instead of burning the whole
+    retry budget or taking down the sweep.
+
+    ``journal_path`` arms the write-ahead journal (see
+    :mod:`repro.experiments.journal`); with ``resume=True`` tasks whose
+    ``ok`` outcome is already journaled are skipped and their outcomes
+    returned verbatim, so a killed sweep continues instead of restarting
+    and the merged results are bit-identical to an uninterrupted run.
 
     ``crash_plan`` maps task labels to a number of injected worker crashes
-    — the retry machinery's test hook (in serial mode an injected crash
-    raises instead, as there is no process to lose).
+    (legacy test hook); ``chaos_plan`` is its superset from
+    :mod:`repro.chaos` (kill/hang/crash).  In serial mode any injected
+    action raises instead, as there is no process to lose.
 
     With ``collect_spans`` each task records its own span batch (see
     :class:`SweepOutcome.spans`) regardless of the execution mode.
@@ -483,148 +748,390 @@ def run_sweep(
         raise ExperimentError(f"retries must be >= 0, got {retries}")
     if timeout is not None and timeout <= 0:
         raise ExperimentError(f"timeout must be positive, got {timeout}")
-    # Load each distinct graph exactly once, in task order.
-    graphs: Dict[Tuple[str, str, int], Tuple[CSRGraph, str]] = {}
-    for task in tasks:
-        if task.graph_key not in graphs:
-            graph, ds = load_dataset_cached(
-                task.dataset, tier=task.tier, seed=task.seed
-            )
-            graphs[task.graph_key] = (graph, ds.name)
+    if poison_threshold is not None and poison_threshold < 1:
+        raise ExperimentError(
+            f"poison_threshold must be >= 1, got {poison_threshold}"
+        )
+    if heartbeat_timeout_s <= 0:
+        raise ExperimentError(
+            f"heartbeat_timeout_s must be positive, got {heartbeat_timeout_s}"
+        )
 
-    remaining_crashes = dict(crash_plan or {})
+    chaos = _merged_chaos(crash_plan, chaos_plan)
+    session = _JournalSession(journal_path, resume, tasks, jobs=jobs)
+    results: Dict[int, SweepOutcome] = dict(session.resumed)
+    todo = [(idx, task) for idx, task in enumerate(tasks) if idx not in results]
 
-    def take_crash(task: SweepTask) -> bool:
-        left = remaining_crashes.get(task.label, 0)
-        if left > 0:
-            remaining_crashes[task.label] = left - 1
-            return True
-        return False
-
-    if jobs <= 1:
-        outcomes: List[SweepOutcome] = []
-        for task in tasks:
-            graph, name = graphs[task.graph_key]
-            try:
-                if take_crash(task):
-                    raise ExperimentError(
-                        f"injected crash for {task.label} (serial mode)"
+    try:
+        if todo:
+            # Load each distinct graph exactly once, in task order — and
+            # only for the tasks actually left to run on a resume.
+            graphs: Dict[Tuple[str, str, int], Tuple[CSRGraph, str]] = {}
+            for _idx, task in todo:
+                if task.graph_key not in graphs:
+                    graph, ds = load_dataset_cached(
+                        task.dataset, tier=task.tier, seed=task.seed
                     )
-                outcomes.append(
-                    _execute_task(
-                        task, graph, name, collect_spans=collect_spans
-                    )
+                    graphs[task.graph_key] = (graph, ds.name)
+            if jobs <= 1:
+                _run_serial(
+                    todo,
+                    graphs,
+                    results,
+                    session,
+                    chaos,
+                    keep_going=keep_going,
+                    collect_spans=collect_spans,
                 )
-            except Exception as exc:
-                if not keep_going:
-                    raise
-                outcomes.append(_failed_outcome(task, name, str(exc), 1))
-        return outcomes
+            else:
+                _run_supervised(
+                    todo,
+                    graphs,
+                    results,
+                    session,
+                    chaos,
+                    jobs=jobs,
+                    timeout=timeout,
+                    retries=retries,
+                    backoff_s=backoff_s,
+                    backoff_cap_s=backoff_cap_s,
+                    keep_going=keep_going,
+                    collect_spans=collect_spans,
+                    poison_threshold=poison_threshold,
+                    heartbeat_timeout_s=heartbeat_timeout_s,
+                )
+        session.end(results)
+    finally:
+        session.close()
+    return [results[idx] for idx in range(len(tasks))]
 
+
+def _run_serial(
+    todo: Sequence[Tuple[int, SweepTask]],
+    graphs: Mapping[Tuple[str, str, int], Tuple[CSRGraph, str]],
+    results: Dict[int, SweepOutcome],
+    session: _JournalSession,
+    chaos: ChaosPlan,
+    *,
+    keep_going: bool,
+    collect_spans: bool,
+) -> None:
+    """The in-process path; journal records bracket every task."""
+    for idx, task in todo:
+        graph, name = graphs[task.graph_key]
+        session.start(idx, 1)
+        try:
+            action = chaos.take(task.label)
+            if action is not None:
+                raise ExperimentError(
+                    f"injected {action} for {task.label} (serial mode)"
+                )
+            outcome = _execute_task(task, graph, name, collect_spans=collect_spans)
+            results[idx] = outcome
+            session.outcome(idx, "ok", outcome)
+        except Exception as exc:
+            failed = _failed_outcome(task, name, str(exc), 1)
+            session.outcome(idx, "failed", failed)
+            if not keep_going:
+                raise
+            results[idx] = failed
+
+
+def _run_supervised(
+    todo: Sequence[Tuple[int, SweepTask]],
+    graphs: Mapping[Tuple[str, str, int], Tuple[CSRGraph, str]],
+    results: Dict[int, SweepOutcome],
+    session: _JournalSession,
+    chaos: ChaosPlan,
+    *,
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff_s: float,
+    backoff_cap_s: float,
+    keep_going: bool,
+    collect_spans: bool,
+    poison_threshold: Optional[int],
+    heartbeat_timeout_s: float,
+) -> None:
+    """The parallel path: supervised pool rounds over shared-memory CSRs."""
     # fork keeps worker start cheap on Linux; the spec-based attach works
     # under spawn too, so fall back silently elsewhere.
     try:
         mp_ctx = get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         mp_ctx = get_context()
+    # Heartbeat arrays cross into workers by fork inheritance; under spawn
+    # they cannot, so supervision degrades to a per-round wall clock.
+    supervise = mp_ctx.get_start_method() == "fork"
 
-    results: Dict[int, SweepOutcome] = {}
-    with published_graphs(graphs) as specs:
-        # Pending entries carry per-task attempt counts: a task is only
-        # charged an attempt when *it* crashed or timed out, not when a
-        # neighbour poisoned the shared pool before it could run.
-        pending: List[Tuple[int, SweepTask, int]] = [
-            (idx, task, 0) for idx, task in enumerate(tasks)
-        ]
-        round_no = 0
-        while pending:
-            # One fresh pool per round: a crashed or hung worker poisons
-            # every in-flight future, so the round restarts cleanly.
-            pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_ctx)
-            pool_broken = False
-            failed: List[Tuple[int, SweepTask, int, str]] = []
-            fatal: List[Tuple[int, SweepTask, int, str]] = []
-            try:
-                submitted = [
-                    (
-                        idx,
-                        task,
-                        tries,
-                        pool.submit(
+    stop = threading.Event()
+    stop_reason: List[str] = []
+
+    def _on_signal(signum, _frame) -> None:
+        stop_reason.append(signal.Signals(signum).name)
+        stop.set()
+
+    old_handlers = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            old_handlers[signum] = signal.signal(signum, _on_signal)
+
+    def _abort(procs: Sequence) -> None:
+        """Graceful shutdown: kill workers, flush the journal, bail out."""
+        _kill_workers(procs)
+        reason = stop_reason[0] if stop_reason else "signal"
+        session.interrupt(reason)
+        raise SweepInterrupted(
+            f"sweep interrupted by {reason}: journal flushed, workers "
+            f"killed, shared memory unlinked; restart with resume to "
+            f"continue from the last completed task"
+        )
+
+    tracer = get_tracer()
+    # Per-task count of pool-killing attempts (crash/hang/timeout) — the
+    # quarantine signal.  Collateral damage is never counted here.
+    pool_kills: Dict[int, int] = {}
+    try:
+        with published_graphs(graphs) as specs:
+            pending: List[Tuple[int, SweepTask, int]] = [
+                (idx, task, 0) for idx, task in todo
+            ]
+            round_no = 0
+            while pending:
+                if stop.is_set():
+                    _abort(())
+                hb = (
+                    _Heartbeats(
+                        mp_ctx, jobs, heartbeat_timeout_s=heartbeat_timeout_s
+                    )
+                    if supervise
+                    else None
+                )
+                pool = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    mp_context=mp_ctx,
+                    initializer=_worker_init if hb is not None else None,
+                    initargs=hb.initargs() if hb is not None else (),
+                )
+                broken = False
+                break_kind = ""
+                charged: Dict[int, str] = {}
+                crash_detail = ""
+                failed: List[Tuple[int, SweepTask, int, str]] = []
+                fatal: List[Tuple[int, SweepTask, int, str]] = []
+                round_start = time.time()
+                try:
+                    fut_map: Dict[object, Tuple[int, SweepTask, int]] = {}
+                    for idx, task, tries in pending:
+                        session.start(idx, tries + 1)
+                        future = pool.submit(
                             _worker_execute,
                             task,
                             *specs[task.graph_key],
-                            crash=take_crash(task),
+                            task_index=idx,
+                            chaos=chaos.take(task.label),
                             collect_spans=collect_spans,
-                        ),
-                    )
-                    for idx, task, tries in pending
-                ]
-                for idx, task, tries, future in submitted:
-                    if pool_broken:
-                        if future.done():
-                            try:  # finished before the pool died: keep it
-                                results[idx] = replace(
+                        )
+                        fut_map[future] = (idx, task, tries)
+                    procs = list(getattr(pool, "_processes", {}).values())
+
+                    while fut_map and not broken:
+                        done, _ = futures_wait(
+                            set(fut_map),
+                            timeout=_POLL_S,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        for future in sorted(
+                            done, key=lambda f: fut_map[f][0]
+                        ):
+                            idx, task, tries = fut_map.pop(future)
+                            try:
+                                outcome = replace(
                                     future.result(), attempts=tries + 1
                                 )
-                                continue
-                            except Exception:
-                                pass
-                        # Collateral damage: costs no attempt.
-                        failed.append(
-                            (idx, task, tries, "worker pool broke before this task")
-                        )
-                        continue
-                    try:
-                        outcome = future.result(timeout=timeout)
-                        results[idx] = replace(outcome, attempts=tries + 1)
-                    except FutureTimeout:
-                        failed.append(
-                            (idx, task, tries + 1, f"timed out after {timeout:g}s")
-                        )
-                        _terminate_workers(pool)
-                        pool_broken = True
-                    except BrokenProcessPool as exc:
-                        failed.append(
-                            (idx, task, tries + 1, f"worker crashed: {exc}")
-                        )
-                        pool_broken = True
-                    except Exception as exc:  # deterministic task failure
-                        fatal.append(
-                            (idx, task, tries, f"{type(exc).__name__}: {exc}")
-                        )
-            finally:
-                pool.shutdown(wait=True, cancel_futures=True)
+                                results[idx] = outcome
+                                session.outcome(idx, "ok", outcome)
+                            except BrokenProcessPool as exc:
+                                # Put the future back: the post-break pass
+                                # below owns rescheduling it.
+                                fut_map[future] = (idx, task, tries)
+                                broken = True
+                                break_kind = break_kind or "crash"
+                                crash_detail = (
+                                    crash_detail or f"worker crashed: {exc}"
+                                )
+                                if not charged:
+                                    charged[idx] = crash_detail
+                            except Exception as exc:
+                                fatal.append(
+                                    (
+                                        idx,
+                                        task,
+                                        tries,
+                                        f"{type(exc).__name__}: {exc}",
+                                    )
+                                )
+                        if broken or not fut_map:
+                            break
+                        if stop.is_set():
+                            _abort(procs)
+                        remaining = {idx for idx, _t, _n in fut_map.values()}
+                        # Liveness first: a dead pid pins the blame on the
+                        # exact task the dead worker was running, before
+                        # the executor tears the other workers down.
+                        dead = {
+                            proc.pid
+                            for proc in procs
+                            if not proc.is_alive()
+                        }
+                        if dead:
+                            broken = True
+                            break_kind = "crash"
+                            crash_detail = (
+                                "worker crashed: process "
+                                f"{sorted(dead)} died unexpectedly"
+                            )
+                            if hb is not None:
+                                charged = {
+                                    idx: crash_detail
+                                    for idx in hb.busy_tasks_for_pids(
+                                        dead, remaining
+                                    )
+                                }
+                            break
+                        if hb is not None:
+                            verdict = hb.check(
+                                remaining=remaining, timeout=timeout
+                            )
+                            if verdict is not None:
+                                charged, break_kind = verdict
+                                broken = True
+                                break
+                        elif (  # pragma: no cover - spawn-only fallback
+                            timeout is not None
+                            and time.time() - round_start > timeout
+                        ):
+                            charged = {
+                                idx: f"timed out after {timeout:g}s"
+                                for idx in remaining
+                            }
+                            break_kind = "timeout"
+                            broken = True
+                            break
 
-            for idx, task, tries, error in fatal:
-                if not keep_going:
-                    raise ExperimentError(
-                        f"sweep task {task.label} failed: {error}"
+                    if broken:
+                        METRICS.counter(M.SWEEP_POOL_BREAKS).inc()
+                        if break_kind in ("hang", "timeout"):
+                            METRICS.counter(M.SWEEP_HUNG_WORKERS).inc()
+                            if tracer.enabled:
+                                tracer.event(
+                                    "worker-hung",
+                                    kind=break_kind,
+                                    charged=sorted(charged),
+                                )
+                        _kill_workers(procs)
+                        if not charged and crash_detail:
+                            # No heartbeat attribution: blame the first
+                            # future the breakage surfaced on.
+                            first = min(
+                                (idx for idx, _t, _n in fut_map.values()),
+                                default=None,
+                            )
+                            if first is not None:
+                                charged[first] = crash_detail
+                        for future, (idx, task, tries) in sorted(
+                            fut_map.items(), key=lambda kv: kv[1][0]
+                        ):
+                            if future.done():
+                                try:  # finished before the pool died
+                                    outcome = replace(
+                                        future.result(), attempts=tries + 1
+                                    )
+                                    results[idx] = outcome
+                                    session.outcome(idx, "ok", outcome)
+                                    continue
+                                except Exception:
+                                    pass
+                            if idx in charged:
+                                pool_kills[idx] = pool_kills.get(idx, 0) + 1
+                                failed.append(
+                                    (idx, task, tries + 1, charged[idx])
+                                )
+                            else:
+                                # Collateral damage: costs no attempt.
+                                failed.append(
+                                    (
+                                        idx,
+                                        task,
+                                        tries,
+                                        "worker pool broke before this task",
+                                    )
+                                )
+                finally:
+                    pool.shutdown(wait=True, cancel_futures=True)
+
+                for idx, task, tries, error in fatal:
+                    failed_out = _failed_outcome(
+                        task, specs[task.graph_key][1], error, tries + 1
                     )
-                results[idx] = _failed_outcome(
-                    task, specs[task.graph_key][1], error, tries + 1
-                )
-            still_pending: List[Tuple[int, SweepTask, int]] = []
-            for idx, task, tries, error in failed:
-                if tries <= retries:
-                    still_pending.append((idx, task, tries))
-                    continue
-                if not keep_going:
-                    raise ExperimentError(
-                        f"sweep task {task.label} failed after {tries} "
-                        f"attempts: {error}"
+                    session.outcome(idx, "failed", failed_out)
+                    if not keep_going:
+                        raise ExperimentError(
+                            f"sweep task {task.label} failed: {error}"
+                        )
+                    results[idx] = failed_out
+                still_pending: List[Tuple[int, SweepTask, int]] = []
+                for idx, task, tries, error in failed:
+                    if (
+                        poison_threshold is not None
+                        and pool_kills.get(idx, 0) >= poison_threshold
+                    ):
+                        quarantined = _failed_outcome(
+                            task,
+                            specs[task.graph_key][1],
+                            f"quarantined after killing the worker pool "
+                            f"{pool_kills[idx]} times: {error}",
+                            tries,
+                            quarantined=True,
+                        )
+                        results[idx] = quarantined
+                        session.outcome(idx, "quarantined", quarantined)
+                        METRICS.counter(M.SWEEP_QUARANTINED).inc()
+                        if tracer.enabled:
+                            tracer.event(
+                                "task-quarantined",
+                                label=task.label,
+                                pool_kills=pool_kills[idx],
+                            )
+                        continue
+                    if tries <= retries:
+                        still_pending.append((idx, task, tries))
+                        continue
+                    exhausted = _failed_outcome(
+                        task,
+                        specs[task.graph_key][1],
+                        f"{error} (after {tries} attempts)",
+                        tries,
                     )
-                results[idx] = _failed_outcome(
-                    task,
-                    specs[task.graph_key][1],
-                    f"{error} (after {tries} attempts)",
-                    tries,
-                )
-            pending = still_pending
-            if pending:
-                time.sleep(backoff_s * (2**round_no))
-                round_no += 1
-    return [results[idx] for idx in range(len(tasks))]
+                    session.outcome(idx, "failed", exhausted)
+                    if not keep_going:
+                        raise ExperimentError(
+                            f"sweep task {task.label} failed after {tries} "
+                            f"attempts: {error}"
+                        )
+                    results[idx] = exhausted
+                pending = still_pending
+                if pending:
+                    # Interruptible, capped backoff: Ctrl-C during the wait
+                    # exits promptly instead of sleeping out 2**round.
+                    delay = min(backoff_cap_s, backoff_s * (2**round_no))
+                    if stop.wait(delay):
+                        _abort(())
+                    round_no += 1
+    finally:
+        for signum, handler in old_handlers.items():
+            signal.signal(signum, handler)
 
 
 def run(
@@ -639,6 +1146,11 @@ def run(
     memory_budget_bytes: Optional[int] = None,
     fault_seed: Optional[int] = None,
     backend: str = "auto",
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    poison_threshold: Optional[int] = None,
+    heartbeat_timeout_s: float = 30.0,
+    chaos_spec: Optional[ChaosSpec] = None,
 ) -> ExperimentResult:
     """Sweep experiment entry point (``repro-experiments sweep``).
 
@@ -651,6 +1163,13 @@ def run(
     records its own span batch — in-process or on a worker — and the
     batches are adopted into one parent ``sweep`` span, so the timeline
     is coherent across process boundaries.
+
+    ``journal_path``/``resume`` arm the write-ahead journal
+    (``--journal``/``--resume``; see :mod:`repro.experiments.journal`),
+    ``poison_threshold`` the quarantine (``--quarantine-after``), and
+    ``chaos_spec`` the process-level fault harness (``--chaos-seed`` et
+    al.; see :mod:`repro.chaos`) — chaos victims are chosen over the
+    final task labels, after every per-task override is applied.
     """
     chosen = list(tasks) if tasks is not None else fig7_sweep_tasks(tier=tier, seed=seed)
     if memory_budget_bytes is not None:
@@ -670,6 +1189,22 @@ def run(
             )
             for task in chosen
         ]
+    chaos_plan = (
+        chaos_spec.plan([task.label for task in chosen])
+        if chaos_spec is not None and chaos_spec.total_victims
+        else None
+    )
+    sweep_kwargs = dict(
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        keep_going=keep_going,
+        journal_path=journal_path,
+        resume=resume,
+        poison_threshold=poison_threshold,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        chaos_plan=chaos_plan,
+    )
     tracer = get_tracer()
     if tracer.enabled:
         with tracer.span(
@@ -678,22 +1213,15 @@ def run(
             workloads=len(chosen),
             jobs=max(jobs, 1),
             mode="sweep",
+            journaled=journal_path is not None,
+            resumed=bool(resume),
         ):
-            outcomes = run_sweep(
-                chosen,
-                jobs=jobs,
-                timeout=timeout,
-                retries=retries,
-                keep_going=keep_going,
-                collect_spans=True,
-            )
+            outcomes = run_sweep(chosen, collect_spans=True, **sweep_kwargs)
             for out in outcomes:
                 if out.spans:
                     tracer.adopt_batch(out.spans)
     else:
-        outcomes = run_sweep(
-            chosen, jobs=jobs, timeout=timeout, retries=retries, keep_going=keep_going
-        )
+        outcomes = run_sweep(chosen, **sweep_kwargs)
     table = TextTable(
         [
             "workload",
@@ -708,13 +1236,15 @@ def run(
     data: Dict[str, Dict[str, object]] = {}
     for out in outcomes:
         if not out.ok:
-            table.add_row(out.task.label, "FAILED", "-", "-", "-", out.error)
+            status = "QUARANTINED" if out.quarantined else "FAILED"
+            table.add_row(out.task.label, status, "-", "-", "-", out.error)
             data[out.task.label] = {
                 "dataset": out.graph_name,
                 "kernel": out.task.kernel,
                 "partitions": out.task.partitions,
                 "error": out.error,
                 "attempts": out.attempts,
+                "quarantined": out.quarantined,
             }
             continue
         table.add_row(
@@ -749,4 +1279,16 @@ def run(
         "trace through both disaggregated deployments; with --jobs N the "
         "workloads fan out over processes sharing the CSR arrays."
     )
+    if journal_path is not None:
+        result.notes.append(
+            f"Write-ahead journal: {journal_path}"
+            + (" (resumed)" if resume else "")
+            + " — a killed sweep continues with --resume instead of "
+            "restarting."
+        )
+    quarantined = [out.task.label for out in outcomes if out.quarantined]
+    if quarantined:
+        result.notes.append(
+            "Quarantined poison tasks: " + ", ".join(quarantined)
+        )
     return result

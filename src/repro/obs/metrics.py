@@ -336,9 +336,47 @@ class M:
     CACHE_EVICTIONS = METRICS.declare(
         "cache.evictions", description="entries evicted by the size cap"
     )
+    CACHE_VERIFY_SCANNED = METRICS.declare(
+        "cache.verify.scanned",
+        description="artifact entries scanned by repro-cache verify",
+    )
+    CACHE_VERIFY_CORRUPT = METRICS.declare(
+        "cache.verify.corrupt",
+        description="corrupt/truncated entries found by repro-cache verify",
+    )
+    CACHE_VERIFY_EVICTED = METRICS.declare(
+        "cache.verify.evicted",
+        description="corrupt entries evicted by repro-cache verify --evict",
+    )
     CACHE_SECONDS_SAVED = METRICS.declare(
         "cache.seconds_saved", unit="seconds",
         description="estimated regeneration time avoided by cache hits",
+    )
+
+    # Sweep crash-safety layer (journal, supervision, quarantine).
+    JOURNAL_RECORDS = METRICS.declare(
+        "journal.records-written",
+        description="records appended to sweep write-ahead journals",
+    )
+    JOURNAL_TORN_RECORDS = METRICS.declare(
+        "journal.torn-records",
+        description="torn/corrupt tail records discarded by journal recovery",
+    )
+    SWEEP_TASKS_RESUMED = METRICS.declare(
+        "sweep.tasks-resumed",
+        description="tasks skipped on resume (journaled outcome reused)",
+    )
+    SWEEP_POOL_BREAKS = METRICS.declare(
+        "sweep.pool-breaks",
+        description="worker-pool breakages (crashes, hangs, timeouts)",
+    )
+    SWEEP_HUNG_WORKERS = METRICS.declare(
+        "sweep.hung-workers",
+        description="workers killed for stale heartbeats or task timeouts",
+    )
+    SWEEP_QUARANTINED = METRICS.declare(
+        "sweep.quarantined-tasks",
+        description="poison tasks quarantined after repeated pool kills",
     )
 
     # Typed-instrument series (gauges / histograms).

@@ -51,3 +51,42 @@ class TestCLI:
     def test_parser_tier_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig5", "--tier", "huge"])
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["run", "sweep", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_chaos_counts_require_seed(self, capsys):
+        assert main(["run", "sweep", "--chaos-kill", "1"]) == 2
+        assert "--chaos-seed" in capsys.readouterr().err
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run", "sweep",
+                "--journal", "s.journal", "--resume",
+                "--quarantine-after", "2",
+                "--heartbeat-timeout", "5",
+                "--chaos-seed", "3", "--chaos-kill", "1", "--chaos-hang", "1",
+            ]
+        )
+        assert args.journal == "s.journal"
+        assert args.resume
+        assert args.quarantine_after == 2
+        assert args.heartbeat_timeout == 5.0
+        assert (args.chaos_seed, args.chaos_kill, args.chaos_hang) == (3, 1, 1)
+
+    def test_journaled_sweep_cli_roundtrip(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.journal"
+        base = [
+            "run", "sweep", "--tier", "tiny", "--jobs", "2",
+            "--journal", str(journal),
+            "--json", str(tmp_path),
+        ]
+        assert main(base) == 0
+        first = json.loads((tmp_path / "sweep.json").read_text())
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        resumed = json.loads((tmp_path / "sweep.json").read_text())
+        assert resumed == first
+        assert "journal" in capsys.readouterr().out.lower()

@@ -81,7 +81,15 @@ class TestPublicSurface:
 class TestFacadeSurface:
     """The stable facade: RunSpec + the five one-call workflows."""
 
-    FACADE = ("RunSpec", "run", "compare", "sweep", "load_dataset", "partition")
+    FACADE = (
+        "RunSpec",
+        "SweepSpec",
+        "run",
+        "compare",
+        "sweep",
+        "load_dataset",
+        "partition",
+    )
 
     def test_facade_names_in_all(self):
         for name in self.FACADE:
@@ -126,6 +134,33 @@ class TestFacadeSurface:
     def test_run_rejects_unknown_fields(self):
         with pytest.raises(repro.ConfigError, match="unknown RunSpec field"):
             repro.run(dataset="wikitalk-sim", tier="tiny", kernell="pagerank")
+
+    def test_sweepspec_is_frozen_and_validates(self):
+        spec = repro.SweepSpec(tier="tiny", jobs=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.jobs = 4
+        with pytest.raises(repro.ConfigError, match="jobs"):
+            repro.SweepSpec(jobs=0)
+        with pytest.raises(repro.ConfigError, match="journal_path"):
+            repro.SweepSpec(resume=True)
+
+    def test_sweep_rejects_unknown_fields(self):
+        with pytest.raises(repro.ConfigError, match="unknown SweepSpec field"):
+            repro.sweep(tier="tiny", jobbs=3)
+
+    def test_sweep_accepts_spec_and_overrides(self, tmp_path):
+        from repro.experiments.sweep import SweepTask
+
+        tasks = [
+            SweepTask("wikitalk-sim", "pagerank", 4, "tiny", 7, max_iterations=3)
+        ]
+        spec = repro.SweepSpec(
+            tier="tiny", journal_path=str(tmp_path / "sweep.journal")
+        )
+        first = repro.sweep(tasks, spec=spec)
+        assert set(first.data) == {tasks[0].label}
+        resumed = repro.sweep(tasks, spec=spec, resume=True)
+        assert resumed.data == first.data
 
     def test_compare_covers_all_architectures(self):
         comparison = repro.compare(
