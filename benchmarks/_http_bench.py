@@ -1,0 +1,27 @@
+"""Minimal blocking HTTP client for the serving benchmarks."""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Mapping, Tuple
+
+
+def http_post(
+    port: int,
+    path: str,
+    payload: Mapping[str, Any],
+    *,
+    timeout: float = 300.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            "POST", path, body=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, headers, response.read()
+    finally:
+        conn.close()

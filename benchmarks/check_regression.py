@@ -58,6 +58,12 @@ BACKEND_SECTION = "backend_micro_medium"
 BACKEND_METRIC = "apply_speedup"
 BACKEND_MIN_SPEEDUP = 5.0
 
+#: Optional gate: serving daemon (benchmarks/test_serve_bench.py).
+SERVE_THROUGHPUT_SECTION = "serve_throughput"
+SERVE_THROUGHPUT_METRIC = "mid_speedup_vs_cold"
+SERVE_MIN_SPEEDUP = 5.0
+SERVE_OVERLOAD_SECTION = "serve_overload"
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -78,16 +84,22 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "benchmarks" / "out" / "BENCH_backend.json"),
     )
     parser.add_argument(
+        "--serve-current",
+        default=str(REPO_ROOT / "benchmarks" / "out" / "BENCH_serve.json"),
+    )
+    parser.add_argument(
         "--only",
-        choices=("all", "engine", "obs", "backend"),
+        choices=("all", "engine", "obs", "backend", "serve"),
         default="all",
-        help="which gates to enforce (default: engine required, obs and "
-        "backend checked when their sections are present)",
+        help="which gates to enforce (default: engine required, obs/"
+        "backend/serve checked when their sections are present)",
     )
     args = parser.parse_args(argv)
 
     if args.only == "backend":
         return _check_backend(args.backend_current, required=True)
+    if args.only == "serve":
+        return _check_serve(args.serve_current, required=True)
 
     try:
         current_doc = json.loads(Path(args.current).read_text())
@@ -156,6 +168,12 @@ def main(argv=None) -> int:
         if code:
             return code
 
+    # The serve gate follows the same advisory-by-presence rule.
+    if args.only == "all" and Path(args.serve_current).exists():
+        code = _check_serve(args.serve_current, required=False)
+        if code:
+            return code
+
     print("bench-regression: OK")
     return 0
 
@@ -200,6 +218,73 @@ def _check_backend(path: str, *, required: bool) -> int:
         print(
             f"bench-regression: FAIL — compiled backend speedup "
             f"{speedup:.2f}x below the {BACKEND_MIN_SPEEDUP:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if required:
+        print("bench-regression: OK")
+    return 0
+
+
+def _check_serve(path: str, *, required: bool) -> int:
+    """Gate the serving daemon's numbers recorded in BENCH_serve.json.
+
+    Two conditions: warm serving at the middle concurrency tier must be
+    at least 5x the naive cold path (coalescing + warm pool + result
+    cache doing their job), and the overload experiment must have
+    demonstrated *typed* shedding with zero transport/server errors.
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        print(
+            f"bench-regression: {path} missing — run "
+            "pytest benchmarks/test_serve_bench.py first",
+            file=sys.stderr,
+        )
+        return 2
+    if SERVE_THROUGHPUT_SECTION not in doc:
+        print(
+            f"bench-regression: section {SERVE_THROUGHPUT_SECTION!r} "
+            f"missing from {path}",
+            file=sys.stderr,
+        )
+        return 2
+    speedup = float(doc[SERVE_THROUGHPUT_SECTION][SERVE_THROUGHPUT_METRIC])
+    print(
+        f"bench-regression: {SERVE_THROUGHPUT_SECTION}."
+        f"{SERVE_THROUGHPUT_METRIC} = {speedup:.2f}x "
+        f"(min {SERVE_MIN_SPEEDUP:.1f}x)"
+    )
+    if speedup < SERVE_MIN_SPEEDUP:
+        print(
+            f"bench-regression: FAIL — warm serving is only {speedup:.2f}x "
+            f"the cold path (floor {SERVE_MIN_SPEEDUP:.1f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if SERVE_OVERLOAD_SECTION not in doc:
+        print(
+            f"bench-regression: section {SERVE_OVERLOAD_SECTION!r} missing "
+            f"from {path}",
+            file=sys.stderr,
+        )
+        return 2
+    overload = doc[SERVE_OVERLOAD_SECTION]
+    shed_ok = bool(overload.get("shed_demonstrated", False))
+    errors = int(overload.get("client_errors", 0)) + int(
+        overload.get("server_errors", 0)
+    )
+    print(
+        f"bench-regression: {SERVE_OVERLOAD_SECTION}: "
+        f"shed={overload.get('shed', 0)} "
+        f"quota_rejected={overload.get('quota_rejected', 0)} "
+        f"errors={errors}"
+    )
+    if not shed_ok or errors:
+        print(
+            "bench-regression: FAIL — overload must shed typed errors "
+            f"(shed_demonstrated={shed_ok}, raw errors={errors})",
             file=sys.stderr,
         )
         return 1

@@ -148,6 +148,22 @@ class RunSpec:
                 f"got {self.backend!r}"
             )
 
+    def digest(self) -> str:
+        """Canonical content digest of this spec (sha256 hex).
+
+        The digest is the sha256 of a sorted-key canonical-JSON rendering
+        of *every* field — defaults included — so two specs describing the
+        same workload hash identically no matter the keyword order or
+        whether defaults were spelled out.  It is the coalescing and
+        result-cache key of the serving daemon (:mod:`repro.serve`): equal
+        digests mean bit-identical results, so requests sharing a digest
+        can share one execution.
+        """
+        from repro.cache.keys import canonical_key
+
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        return canonical_key("runspec", payload)
+
 
 _SPEC_FIELDS = frozenset(f.name for f in fields(RunSpec))
 
@@ -166,17 +182,35 @@ def _resolve_spec(spec: Optional[RunSpec], overrides: Dict[str, Any]) -> RunSpec
     return replace(spec, **overrides) if overrides else spec
 
 
-def _spec_workload(spec: RunSpec):
-    """Load the graph and instantiate the named pieces a spec describes."""
+def _spec_workload(
+    spec: RunSpec,
+    *,
+    graph: Optional[CSRGraph] = None,
+    graph_name: Optional[str] = None,
+):
+    """Load the graph and instantiate the named pieces a spec describes.
+
+    ``graph``/``graph_name`` short-circuit the dataset load with an
+    already-loaded graph — the serving daemon's warm pool
+    (:mod:`repro.serve`) passes its pinned copy here so repeat tenants
+    skip generation entirely.  The caller is responsible for the graph
+    actually matching the spec's ``(dataset, tier, seed, scale_shift)``;
+    datasets are generated deterministically, so an honest pool entry is
+    bit-identical to a fresh load.
+    """
     from repro.kernels.registry import get_kernel
     from repro.partition.registry import get_partitioner
 
-    graph, ds = load_dataset(
-        spec.dataset,
-        tier=spec.tier,
-        seed=spec.seed,
-        scale_shift=spec.scale_shift,
-    )
+    if graph is None:
+        graph, ds = load_dataset(
+            spec.dataset,
+            tier=spec.tier,
+            seed=spec.seed,
+            scale_shift=spec.scale_shift,
+        )
+        graph_name = ds.name
+    elif graph_name is None:
+        graph_name = spec.dataset
     kernel = get_kernel(spec.kernel)
     chooser = (
         get_partitioner(spec.partitioner) if spec.partitioner is not None else None
@@ -184,7 +218,7 @@ def _spec_workload(spec: RunSpec):
     source = spec.source
     if source is None and kernel.needs_source:
         source = int(graph.out_degrees.argmax())
-    return graph, ds, kernel, chooser, source
+    return graph, graph_name, kernel, chooser, source
 
 
 def _spec_faults(spec: RunSpec):
@@ -212,12 +246,29 @@ def run(spec: Optional[RunSpec] = None, **overrides: Any):
     The active tracer (see :mod:`repro.obs`) instruments the run when one
     is installed; otherwise tracing costs nothing.
     """
+    spec = _resolve_spec(spec, overrides)
+    return _run_resolved(spec)
+
+
+def _run_resolved(
+    spec: RunSpec,
+    *,
+    graph: Optional[CSRGraph] = None,
+    graph_name: Optional[str] = None,
+):
+    """Execute a resolved spec (optionally against a preloaded graph).
+
+    This is the single execution path behind both :func:`run` and the
+    serving daemon's warm-pool executor, so a served result can only
+    differ from the CLI/facade path if the *inputs* differ.
+    """
     from repro.arch.registry import get_architecture
     from repro.runtime.config import SystemConfig
     from repro.runtime.offload import get_policy
 
-    spec = _resolve_spec(spec, overrides)
-    graph, ds, kernel, chooser, source = _spec_workload(spec)
+    graph, graph_name, kernel, chooser, source = _spec_workload(
+        spec, graph=graph, graph_name=graph_name
+    )
     config = SystemConfig(
         num_memory_nodes=spec.partitions,
         memory_budget_bytes=spec.memory_budget_bytes,
@@ -233,7 +284,7 @@ def run(spec: Optional[RunSpec] = None, **overrides: Any):
         partitioner=chooser,
         source=source,
         max_iterations=spec.max_iterations,
-        graph_name=ds.name,
+        graph_name=graph_name,
         seed=spec.seed,
         faults=_spec_faults(spec),
     )
@@ -247,11 +298,23 @@ def compare(spec: Optional[RunSpec] = None, **overrides: Any):
     ``architecture`` and ``policy`` fields are ignored — a comparison
     always covers all four deployments.
     """
+    spec = _resolve_spec(spec, overrides)
+    return _compare_resolved(spec)
+
+
+def _compare_resolved(
+    spec: RunSpec,
+    *,
+    graph: Optional[CSRGraph] = None,
+    graph_name: Optional[str] = None,
+):
+    """Execute a resolved comparison (optionally against a preloaded graph)."""
     from repro.arch.compare import compare_architectures
     from repro.runtime.config import SystemConfig
 
-    spec = _resolve_spec(spec, overrides)
-    graph, ds, kernel, chooser, source = _spec_workload(spec)
+    graph, graph_name, kernel, chooser, source = _spec_workload(
+        spec, graph=graph, graph_name=graph_name
+    )
     config = SystemConfig(
         num_memory_nodes=spec.partitions,
         memory_budget_bytes=spec.memory_budget_bytes,
@@ -264,7 +327,7 @@ def compare(spec: Optional[RunSpec] = None, **overrides: Any):
         partitioner=chooser,
         source=source,
         max_iterations=spec.max_iterations,
-        graph_name=ds.name,
+        graph_name=graph_name,
         seed=spec.seed,
         faults=_spec_faults(spec),
     )

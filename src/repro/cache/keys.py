@@ -104,6 +104,16 @@ def mirror_key(graph_sha: str, assignment_sha: str, direction: str) -> str:
     )
 
 
+def result_key(request_digest: str) -> str:
+    """Key for a served analytics result (the ``result`` artifact kind).
+
+    ``request_digest`` is the canonical digest of the serving request
+    (:meth:`repro.api.RunSpec.digest` for single runs) — itself already
+    content-addressed, so this just namespaces it under the cache schema.
+    """
+    return canonical_key("result", {"request": request_digest})
+
+
 def assignment_digest(parts: np.ndarray, num_parts: int) -> str:
     """Content digest of a partition assignment."""
     h = hashlib.sha256()

@@ -175,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="summary line only, no iteration table"
     )
+    parser.add_argument(
+        "--result-sha",
+        action="store_true",
+        help="print the sha256 of the kernel's result array (the serving "
+        "daemon reports the same digest; use it to verify bit-identity)",
+    )
     return parser
 
 
@@ -270,6 +276,10 @@ def _run(args: argparse.Namespace) -> int:
             f"host-only kernel {kernel.name!r} on {graph_name}: computed "
             f"{values.size} values (min {values.min()}, max {values.max()})"
         )
+        if args.result_sha:
+            from repro.serve.protocol import result_sha256
+
+            print(f"result sha256: {result_sha256(values)}")
         return 0
 
     memory_budget = None
@@ -313,6 +323,13 @@ def _run(args: argparse.Namespace) -> int:
                     f"{row.architecture}: recovery "
                     f"{format_bytes(row.run.total_recovery_bytes)}"
                 )
+        if args.result_sha:
+            from repro.serve.protocol import result_sha256
+
+            print(
+                "result sha256: "
+                f"{result_sha256(comparison.rows[0].run.result_property())}"
+            )
         return 0
 
     if args.arch == "disaggregated-ndp":
@@ -379,6 +396,10 @@ def _run(args: argparse.Namespace) -> int:
     if args.trace_jsonl:
         write_trace_jsonl(trace_run(run), args.trace_jsonl)
         print(f"trace written to {args.trace_jsonl}")
+    if args.result_sha:
+        from repro.serve.protocol import result_sha256
+
+        print(f"result sha256: {result_sha256(run.result_property())}")
     return 0
 
 

@@ -113,6 +113,49 @@ class SweepInterrupted(ExperimentError):
     """
 
 
+class ServeError(ReproError):
+    """Base class for analytics-serving-daemon errors (:mod:`repro.serve`).
+
+    Every serving failure is *typed and fast*: the daemon's admission
+    control rejects work it cannot take with one of the subclasses below
+    instead of queueing unboundedly or hanging the client.
+    """
+
+
+class Overloaded(ServeError):
+    """The daemon shed this request under load.
+
+    Raised (and mapped to HTTP 503) when the admission queue is at its
+    configured depth.  ``retry_after_s`` is the server's backoff hint,
+    surfaced to HTTP clients as a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class QuotaExceeded(ServeError):
+    """A tenant exceeded its per-tenant quota or rate limit.
+
+    Raised (and mapped to HTTP 429) when a tenant has too many requests
+    in flight or its token bucket is empty.  Carries the ``tenant`` so
+    multi-tenant clients can tell whose budget ran out.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "default") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class ServerClosed(ServeError):
+    """The daemon is draining or stopped and rejects new requests.
+
+    In-flight requests are still completed during a graceful drain; only
+    *new* admissions see this error (mapped to HTTP 503).
+    """
+
+
 class MetricError(ReproError):
     """An undeclared metric name was used, or a declared one was misused.
 

@@ -353,6 +353,81 @@ class M:
         description="estimated regeneration time avoided by cache hits",
     )
 
+    # Serving result artifacts (the "result" cache kind used by repro.serve).
+    CACHE_RESULT_HITS = METRICS.declare("cache.result.hits")
+    CACHE_RESULT_MISSES = METRICS.declare("cache.result.misses")
+    CACHE_RESULT_CORRUPT = METRICS.declare("cache.result.corrupt")
+    CACHE_RESULT_WRITES = METRICS.declare("cache.result.writes")
+    CACHE_RESULT_WRITE_ERRORS = METRICS.declare("cache.result.write_errors")
+
+    # Analytics-as-a-service daemon (repro.serve).
+    SERVE_REQUESTS = METRICS.declare(
+        "serve.requests",
+        description="analytics requests received by the serving daemon",
+    )
+    SERVE_EXECUTIONS = METRICS.declare(
+        "serve.executions",
+        description="requests that actually executed a workload (the rest "
+        "were coalesced onto one or served from the result cache)",
+    )
+    SERVE_COALESCED = METRICS.declare(
+        "serve.coalesced-hits",
+        description="requests attached to an identical in-flight execution",
+    )
+    SERVE_RESULT_HITS = METRICS.declare(
+        "serve.result-hits",
+        description="requests answered from the content-addressed result "
+        "cache without executing",
+    )
+    SERVE_SHED = METRICS.declare(
+        "serve.shed-requests",
+        description="requests shed by admission control (queue full)",
+    )
+    SERVE_QUOTA_REJECTS = METRICS.declare(
+        "serve.quota-rejects",
+        description="requests rejected by per-tenant quotas or rate limits",
+    )
+    SERVE_ERRORS = METRICS.declare(
+        "serve.errors",
+        description="requests that failed during parsing or execution",
+    )
+    SERVE_POOL_HITS = METRICS.declare(
+        "serve.pool.hits",
+        description="graph-pool acquisitions served by a warm pinned graph",
+    )
+    SERVE_POOL_MISSES = METRICS.declare(
+        "serve.pool.misses",
+        description="graph-pool acquisitions that had to load the graph",
+    )
+    SERVE_POOL_EVICTIONS = METRICS.declare(
+        "serve.pool.evictions",
+        description="unpinned graphs evicted from the pool byte budget",
+    )
+    SERVE_QUEUE_DEPTH = METRICS.declare(
+        "serve.queue-depth", "gauge",
+        description="admitted requests waiting for a worker",
+    )
+    SERVE_INFLIGHT = METRICS.declare(
+        "serve.inflight", "gauge",
+        description="requests currently executing on the worker pool",
+    )
+    SERVE_POOL_BYTES = METRICS.declare(
+        "serve.pool-bytes", "gauge", unit="bytes",
+        description="CSR bytes pinned or cached in the shared graph pool",
+    )
+    SERVE_POOL_PINNED = METRICS.declare(
+        "serve.pool-pinned", "gauge",
+        description="graphs in the pool currently leased by a request",
+    )
+    SERVE_REQUEST_SECONDS = METRICS.declare(
+        "serve.request-seconds", "histogram", unit="seconds",
+        description="end-to-end request latency observed by the daemon",
+    )
+    SERVE_QUEUE_SECONDS = METRICS.declare(
+        "serve.queue-seconds", "histogram", unit="seconds",
+        description="time admitted requests spent queued before execution",
+    )
+
     # Sweep crash-safety layer (journal, supervision, quarantine).
     JOURNAL_RECORDS = METRICS.declare(
         "journal.records-written",

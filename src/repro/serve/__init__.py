@@ -1,0 +1,84 @@
+"""Analytics-as-a-service: the coalescing, warm-pool serving daemon.
+
+``repro.serve`` turns the offline facade into a long-lived localhost
+service.  The pieces, each its own module:
+
+* :mod:`repro.serve.config`    — :class:`ServeConfig`, every tuning knob;
+* :mod:`repro.serve.protocol`  — request parsing, canonical response
+  bytes, the request digest that keys everything;
+* :mod:`repro.serve.pool`      — ref-counted shared graph pool with LRU
+  eviction under a byte budget;
+* :mod:`repro.serve.results`   — two-layer content-addressed result cache;
+* :mod:`repro.serve.coalesce`  — identical in-flight requests share one
+  execution;
+* :mod:`repro.serve.admission` — per-tenant quotas, priority queue, typed
+  load shedding;
+* :mod:`repro.serve.executor`  — thread-pool execution through the
+  facade's single code path (bit-identical to the CLIs);
+* :mod:`repro.serve.server`    — the asyncio HTTP front door tying it
+  together, plus :class:`ServerThread` for in-process harnesses;
+* :mod:`repro.serve.loadgen`   — the benchmark/CI load generator.
+
+See ``docs/serving.md`` for the protocol and operational story.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.coalesce import Coalescer
+from repro.serve.config import DEFAULT_PORT, ServeConfig
+from repro.serve.executor import ServeExecutor
+from repro.serve.pool import GraphLease, GraphPool, graph_nbytes, pool_key
+from repro.serve.protocol import (
+    REQUEST_KINDS,
+    ServeRequest,
+    canonical_bytes,
+    encode_compare,
+    encode_run,
+    encode_sweep,
+    error_payload,
+    parse_request,
+    result_sha256,
+)
+from repro.serve.results import ResultCache
+from repro.serve.server import AnalyticsServer, RequestTimeout, ServerThread
+
+#: loadgen re-exports are lazy so ``python -m repro.serve.loadgen`` does
+#: not trip runpy's already-imported warning.
+_LOADGEN_NAMES = ("DEFAULT_MIX", "LoadReport", "run_load", "run_load_sync")
+
+
+def __getattr__(name):
+    if name in _LOADGEN_NAMES:
+        from repro.serve import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AdmissionController",
+    "AnalyticsServer",
+    "Coalescer",
+    "DEFAULT_MIX",
+    "DEFAULT_PORT",
+    "GraphLease",
+    "GraphPool",
+    "LoadReport",
+    "REQUEST_KINDS",
+    "RequestTimeout",
+    "ResultCache",
+    "ServeConfig",
+    "ServeExecutor",
+    "ServeRequest",
+    "ServerThread",
+    "TokenBucket",
+    "canonical_bytes",
+    "encode_compare",
+    "encode_run",
+    "encode_sweep",
+    "error_payload",
+    "graph_nbytes",
+    "parse_request",
+    "pool_key",
+    "result_sha256",
+    "run_load",
+    "run_load_sync",
+]

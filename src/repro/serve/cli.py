@@ -1,0 +1,231 @@
+"""``repro-serve`` — run the analytics serving daemon.
+
+Starts an :class:`~repro.serve.server.AnalyticsServer` on localhost and
+blocks until a signal or a ``POST /v1/shutdown`` arrives.  SIGINT and
+SIGTERM both trigger the same graceful sequence the sweep runner uses:
+stop accepting, drain in-flight work (bounded by ``--drain-timeout``),
+release every pooled graph, exit 0.  A second signal abandons the drain
+and exits 1.
+
+``--ready-file`` writes a small JSON record (pid, host, resolved port)
+once the socket is bound — the handshake the CI smoke job and subprocess
+tests use instead of polling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+from typing import Optional, Sequence
+
+from repro import cache as repro_cache
+from repro.cli_common import add_observability_args
+from repro.errors import ReproError
+from repro.obs import tracing_session
+from repro.serve.config import DEFAULT_PORT, ServeConfig
+from repro.serve.server import AnalyticsServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Analytics-as-a-service daemon: coalescing, warm graph "
+        "pool, content-addressed result cache, typed load shedding.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port (default {DEFAULT_PORT}; 0 = OS-assigned, "
+        "read it back from --ready-file)",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="executor threads (maximum concurrent executions)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admitted requests allowed to wait; beyond this, shed with 503",
+    )
+    parser.add_argument(
+        "--pool-bytes",
+        type=int,
+        default=1 << 30,
+        metavar="BYTES",
+        help="graph-pool byte budget (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-tenant sustained request rate (default: unlimited)",
+    )
+    parser.add_argument(
+        "--tenant-burst",
+        type=int,
+        default=16,
+        metavar="N",
+        help="per-tenant token-bucket burst",
+    )
+    parser.add_argument(
+        "--tenant-max-inflight",
+        type=int,
+        default=16,
+        metavar="N",
+        help="per-tenant cap on queued+executing requests (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request execution budget (default: unlimited)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="graceful-shutdown drain budget",
+    )
+    parser.add_argument(
+        "--sweep-jobs-cap",
+        type=int,
+        default=2,
+        metavar="N",
+        help="cap on worker processes a sweep request may ask for",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable request coalescing (benchmark baseline)",
+    )
+    parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the result cache (benchmark baseline)",
+    )
+    parser.add_argument(
+        "--no-remote-shutdown",
+        action="store_true",
+        help="reject POST /v1/shutdown (signals only)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact-cache directory shared with the CLIs "
+        "(datasets, partitions, persisted results)",
+    )
+    parser.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="FILE",
+        help="write {pid, host, port} JSON here once the socket is bound",
+    )
+    add_observability_args(parser)
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.serve_workers,
+        max_queue_depth=args.queue_depth,
+        pool_max_bytes=args.pool_bytes if args.pool_bytes > 0 else None,
+        coalesce=not args.no_coalesce,
+        result_cache=not args.no_result_cache,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_max_inflight=(
+            args.tenant_max_inflight if args.tenant_max_inflight > 0 else None
+        ),
+        request_timeout_s=args.request_timeout,
+        drain_timeout_s=args.drain_timeout,
+        sweep_jobs_cap=args.sweep_jobs_cap,
+        allow_remote_shutdown=not args.no_remote_shutdown,
+    )
+
+
+async def _serve(config: ServeConfig, ready_file: Optional[str]) -> int:
+    server = AnalyticsServer(config, cache=repro_cache.get_cache())
+    await server.start()
+    print(
+        f"repro-serve: listening on {config.host}:{server.port} "
+        f"({config.workers} workers, queue {config.max_queue_depth})",
+        file=sys.stderr,
+    )
+    if ready_file:
+        record = {"pid": os.getpid(), "host": config.host, "port": server.port}
+        with open(ready_file, "w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+            handle.write("\n")
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    signals_seen = []
+
+    def _on_signal(signum: int) -> None:
+        signals_seen.append(signum)
+        if len(signals_seen) == 1:
+            print(
+                f"repro-serve: {signal.Signals(signum).name} received; "
+                "draining (signal again to abandon)",
+                file=sys.stderr,
+            )
+            stop.set()
+        else:
+            print("repro-serve: second signal; exiting now", file=sys.stderr)
+            os._exit(1)
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, _on_signal, signum)
+
+    shutdown_wait = loop.create_task(server.wait_for_shutdown_request())
+    stop_wait = loop.create_task(stop.wait())
+    try:
+        await asyncio.wait(
+            {shutdown_wait, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+        )
+    finally:
+        for task in (shutdown_wait, stop_wait):
+            task.cancel()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.remove_signal_handler(signum)
+    await server.shutdown(drain=True)
+    print("repro-serve: stopped cleanly", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.cache_dir is not None:
+        repro_cache.configure(args.cache_dir)
+    try:
+        config = _config_from_args(args)
+        with tracing_session(
+            trace_out=args.trace_out,
+            jsonl_out=args.trace_events,
+            progress=args.progress,
+        ):
+            return asyncio.run(_serve(config, args.ready_file))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

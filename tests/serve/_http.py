@@ -1,0 +1,44 @@
+"""Tiny blocking HTTP client used by the serving-daemon tests."""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+Response = Tuple[int, Dict[str, str], bytes]
+
+
+def http_post(
+    port: int,
+    path: str,
+    payload: Optional[Mapping[str, Any]] = None,
+    *,
+    raw_body: Optional[bytes] = None,
+    timeout: float = 120.0,
+) -> Response:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = raw_body if raw_body is not None else json.dumps(
+            payload or {}
+        ).encode()
+        conn.request(
+            "POST", path, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, headers, response.read()
+    finally:
+        conn.close()
+
+
+def http_get(port: int, path: str, *, timeout: float = 30.0) -> Response:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, headers, response.read()
+    finally:
+        conn.close()

@@ -1,0 +1,18 @@
+"""Shared fixtures for the serving-daemon tests."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import pytest
+
+
+@pytest.fixture
+def run_payload() -> Dict[str, Any]:
+    """A tiny deterministic run request (milliseconds to execute)."""
+    return {
+        "dataset": "wikitalk-sim",
+        "kernel": "pagerank",
+        "tier": "tiny",
+        "max_iterations": 4,
+    }

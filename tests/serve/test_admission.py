@@ -1,0 +1,109 @@
+"""Admission control: typed fast failure, never a hang."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import Overloaded, QuotaExceeded
+from repro.serve.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_token_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3, now=clock())
+    assert [bucket.try_take(clock()) for _ in range(4)] == [
+        True, True, True, False,
+    ]
+    clock.advance(0.5)  # one token back at 2/s
+    assert bucket.try_take(clock())
+    assert not bucket.try_take(clock())
+
+
+def test_rate_limit_rejects_with_typed_error():
+    clock = FakeClock()
+    controller = AdmissionController(
+        max_queue_depth=100, tenant_rate=1.0, tenant_burst=2, clock=clock
+    )
+    controller.admit("team-a", 5)
+    controller.admit("team-a", 5)
+    with pytest.raises(QuotaExceeded) as excinfo:
+        controller.admit("team-a", 5)
+    assert excinfo.value.tenant == "team-a"
+    # a different tenant has its own bucket
+    controller.admit("team-b", 5)
+    # and time heals team-a
+    clock.advance(1.0)
+    controller.admit("team-a", 5)
+
+
+def test_inflight_quota_per_tenant():
+    controller = AdmissionController(
+        max_queue_depth=100, tenant_max_inflight=2, clock=FakeClock()
+    )
+    tickets = [controller.admit("team-a", 5) for _ in range(2)]
+    with pytest.raises(QuotaExceeded):
+        controller.admit("team-a", 5)
+    controller.admit("team-b", 5)  # unaffected
+    # finishing work frees the slot even though the ticket already popped
+    popped = controller.pop()
+    controller.done(popped)
+    del tickets
+    controller.admit("team-a", 5)
+
+
+def test_overload_sheds_with_retry_hint():
+    controller = AdmissionController(max_queue_depth=2, clock=FakeClock())
+    controller.admit("a", 5)
+    controller.admit("b", 5)
+    with pytest.raises(Overloaded) as excinfo:
+        controller.admit("c", 5)
+    assert excinfo.value.retry_after_s > 0
+    stats = controller.stats()
+    assert stats["shed"] == 1
+    assert stats["queued"] == 2
+
+
+def test_priority_order_then_fifo():
+    clock = FakeClock()
+    controller = AdmissionController(max_queue_depth=10, clock=clock)
+    low = controller.admit("t", 1)
+    first_norm = controller.admit("t", 5)
+    second_norm = controller.admit("t", 5)
+    high = controller.admit("t", 9)
+    order = [controller.pop() for _ in range(4)]
+    assert order == [high, first_norm, second_norm, low]
+    assert controller.pop() is None
+    assert controller.queued == 0
+
+
+def test_cancelled_tickets_are_skipped():
+    controller = AdmissionController(max_queue_depth=10, clock=FakeClock())
+    doomed = controller.admit("t", 9)
+    survivor = controller.admit("t", 1)
+    doomed.cancelled = True
+    assert controller.pop() is survivor
+    assert controller.pop() is None
+
+
+def test_done_is_balanced():
+    controller = AdmissionController(
+        max_queue_depth=10, tenant_max_inflight=1, clock=FakeClock()
+    )
+    ticket = controller.admit("t", 5)
+    controller.pop()
+    controller.done(ticket)
+    assert controller.stats()["inflight_by_tenant"] == {}
+    # over-release must not go negative / crash
+    controller.done(ticket)
+    controller.admit("t", 5)

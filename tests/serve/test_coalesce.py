@@ -1,0 +1,97 @@
+"""Coalescer: one leader per digest, everyone gets the same bytes."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ServerClosed
+from repro.serve.coalesce import Coalescer
+
+
+def test_lead_then_attach_then_fan_out():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        coalescer = Coalescer()
+        is_leader, leader_future = coalescer.lead_or_attach("d", loop)
+        assert is_leader
+        attached = [coalescer.lead_or_attach("d", loop) for _ in range(3)]
+        assert all(not lead for lead, _ in attached)
+        assert all(fut is leader_future for _, fut in attached)
+        assert coalescer.inflight == 1
+
+        coalescer.resolve("d", b"payload")
+        results = await asyncio.gather(
+            leader_future, *(fut for _, fut in attached)
+        )
+        assert results == [b"payload"] * 4
+        assert coalescer.inflight == 0
+        stats = coalescer.stats()
+        assert stats["led"] == 1 and stats["attached"] == 3
+
+    asyncio.run(scenario())
+
+
+def test_distinct_digests_do_not_coalesce():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        coalescer = Coalescer()
+        lead_a, fut_a = coalescer.lead_or_attach("a", loop)
+        lead_b, fut_b = coalescer.lead_or_attach("b", loop)
+        assert lead_a and lead_b and fut_a is not fut_b
+        coalescer.resolve("a", b"A")
+        coalescer.resolve("b", b"B")
+        assert await fut_a == b"A"
+        assert await fut_b == b"B"
+
+    asyncio.run(scenario())
+
+
+def test_failure_fans_out_to_attachers():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        coalescer = Coalescer()
+        _, leader_future = coalescer.lead_or_attach("d", loop)
+        _, attached_future = coalescer.lead_or_attach("d", loop)
+        coalescer.fail("d", ValueError("boom"))
+        for future in (leader_future, attached_future):
+            try:
+                await future
+                raise AssertionError("expected the leader's failure")
+            except ValueError:
+                pass
+
+    asyncio.run(scenario())
+
+
+def test_new_leader_after_completion():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        coalescer = Coalescer()
+        coalescer.lead_or_attach("d", loop)
+        coalescer.resolve("d", b"first")
+        is_leader, future = coalescer.lead_or_attach("d", loop)
+        assert is_leader  # completed executions don't linger
+        coalescer.resolve("d", b"second")
+        assert await future == b"second"
+
+    asyncio.run(scenario())
+
+
+def test_abandon_all_on_shutdown():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        coalescer = Coalescer()
+        futures = []
+        for digest in ("a", "b"):
+            _, future = coalescer.lead_or_attach(digest, loop)
+            futures.append(future)
+        coalescer.abandon_all(ServerClosed("stopping"))
+        for future in futures:
+            try:
+                await future
+                raise AssertionError("expected ServerClosed")
+            except ServerClosed:
+                pass
+        assert coalescer.inflight == 0
+
+    asyncio.run(scenario())

@@ -1,0 +1,49 @@
+"""Result cache: memory LRU + persistent artifact layer, identical bytes."""
+
+from __future__ import annotations
+
+from repro.cache.store import ArtifactCache
+from repro.serve.results import ResultCache
+
+
+def test_memory_roundtrip_and_miss():
+    cache = ResultCache(memory_entries=4)
+    assert cache.get("d1") is None
+    cache.put("d1", b'{"x":1}\n')
+    assert cache.get("d1") == b'{"x":1}\n'
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["persistent"] is False
+
+
+def test_memory_lru_eviction():
+    cache = ResultCache(memory_entries=2)
+    cache.put("a", b"A")
+    cache.put("b", b"B")
+    assert cache.get("a") == b"A"  # refresh a; b is now LRU
+    cache.put("c", b"C")
+    assert cache.get("b") is None
+    assert cache.get("a") == b"A"
+    assert cache.get("c") == b"C"
+
+
+def test_persistent_layer_survives_a_new_instance(tmp_path):
+    artifacts = ArtifactCache(tmp_path)
+    first = ResultCache(memory_entries=4, artifacts=artifacts)
+    payload = b'{"kind":"run","result_sha256":"abc"}\n'
+    first.put("digest-1", payload, gen_seconds=1.25)
+
+    # a fresh daemon with a cold memory layer but the same cache dir
+    second = ResultCache(memory_entries=4, artifacts=ArtifactCache(tmp_path))
+    assert second.get("digest-1") == payload
+    # and the hit was promoted into memory
+    assert second.stats()["memory_entries"] == 1
+
+
+def test_disk_payload_is_bit_identical(tmp_path):
+    artifacts = ArtifactCache(tmp_path)
+    cache = ResultCache(memory_entries=1, artifacts=artifacts)
+    blob = bytes(range(256)) * 3
+    cache.put("bin", blob)
+    cache.put("evictor", b"x")  # push 'bin' out of the memory layer
+    assert cache.get("bin") == blob
