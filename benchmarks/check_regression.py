@@ -24,9 +24,15 @@ numpy speedup on the fused apply loop — but only when numba actually ran;
 on numpy-only machines the gate passes with a note, so the bench stays
 runnable everywhere.
 
-``--only`` selects which gates run: ``engine``, ``obs``, and ``backend``
-each require their section; the default ``all`` requires the engine
-section and checks the others when present.
+A fifth gate covers the distributed sweep: the ``remote_scaling_medium``
+section of ``BENCH_sweep.json`` (benchmarks/test_sweep_bench.py) must
+report ledger-identical outcomes across 1/2/4 workers and at least a
+1.6x two-worker speedup — the speedup floor applies only on hosts with
+two or more cores (single-core runners pass with a note).
+
+``--only`` selects which gates run: ``engine``, ``obs``, ``backend``,
+``serve``, and ``sweep`` each require their section; the default ``all``
+requires the engine section and checks the others when present.
 
 Usage::
 
@@ -64,6 +70,11 @@ SERVE_THROUGHPUT_METRIC = "mid_speedup_vs_cold"
 SERVE_MIN_SPEEDUP = 5.0
 SERVE_OVERLOAD_SECTION = "serve_overload"
 
+#: Optional gate: distributed sweep scaling (benchmarks/test_sweep_bench.py).
+SWEEP_SECTION = "remote_scaling_medium"
+SWEEP_METRIC = "speedup_2w"
+SWEEP_MIN_SPEEDUP = 1.6
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -88,11 +99,15 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "benchmarks" / "out" / "BENCH_serve.json"),
     )
     parser.add_argument(
+        "--sweep-current",
+        default=str(REPO_ROOT / "benchmarks" / "out" / "BENCH_sweep.json"),
+    )
+    parser.add_argument(
         "--only",
-        choices=("all", "engine", "obs", "backend", "serve"),
+        choices=("all", "engine", "obs", "backend", "serve", "sweep"),
         default="all",
         help="which gates to enforce (default: engine required, obs/"
-        "backend/serve checked when their sections are present)",
+        "backend/serve/sweep checked when their sections are present)",
     )
     args = parser.parse_args(argv)
 
@@ -100,6 +115,8 @@ def main(argv=None) -> int:
         return _check_backend(args.backend_current, required=True)
     if args.only == "serve":
         return _check_serve(args.serve_current, required=True)
+    if args.only == "sweep":
+        return _check_sweep(args.sweep_current, required=True)
 
     try:
         current_doc = json.loads(Path(args.current).read_text())
@@ -171,6 +188,12 @@ def main(argv=None) -> int:
     # The serve gate follows the same advisory-by-presence rule.
     if args.only == "all" and Path(args.serve_current).exists():
         code = _check_serve(args.serve_current, required=False)
+        if code:
+            return code
+
+    # And so does the distributed-sweep scaling gate.
+    if args.only == "all" and Path(args.sweep_current).exists():
+        code = _check_sweep(args.sweep_current, required=False)
         if code:
             return code
 
@@ -285,6 +308,64 @@ def _check_serve(path: str, *, required: bool) -> int:
         print(
             "bench-regression: FAIL — overload must shed typed errors "
             f"(shed_demonstrated={shed_ok}, raw errors={errors})",
+            file=sys.stderr,
+        )
+        return 1
+    if required:
+        print("bench-regression: OK")
+    return 0
+
+
+def _check_sweep(path: str, *, required: bool) -> int:
+    """Gate the distributed sweep scaling recorded in BENCH_sweep.json.
+
+    Two conditions: the 1/2/4-worker runs must have produced ledger-
+    identical outcomes (a speedup that changes answers is a bug), and the
+    two-worker speedup must clear its floor — but only on hosts with at
+    least two cores, since compute-bound workers cannot scale past the
+    physical core count; a single-core runner passes with a note.
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        print(
+            f"bench-regression: {path} missing — run "
+            "pytest benchmarks/test_sweep_bench.py first",
+            file=sys.stderr,
+        )
+        return 2
+    if SWEEP_SECTION not in doc:
+        print(
+            f"bench-regression: section {SWEEP_SECTION!r} missing from "
+            f"{path}",
+            file=sys.stderr,
+        )
+        return 2
+    section = doc[SWEEP_SECTION]
+    if not section.get("ledger_identical", False):
+        print(
+            "bench-regression: FAIL — remote sweep outcomes diverged "
+            "from the single-host ledgers",
+            file=sys.stderr,
+        )
+        return 1
+    if int(section.get("cores", 1)) < 2:
+        print(
+            "bench-regression: sweep gate skipped — single-core runner, "
+            "multi-worker speedup is not expressible (OK; "
+            f"recorded {SWEEP_METRIC}="
+            f"{float(section.get(SWEEP_METRIC, 0.0)):.2f}x)"
+        )
+        return 0
+    speedup = float(section[SWEEP_METRIC])
+    print(
+        f"bench-regression: {SWEEP_SECTION}.{SWEEP_METRIC} = "
+        f"{speedup:.2f}x (min {SWEEP_MIN_SPEEDUP:.1f}x)"
+    )
+    if speedup < SWEEP_MIN_SPEEDUP:
+        print(
+            f"bench-regression: FAIL — 2-worker sweep speedup "
+            f"{speedup:.2f}x below the {SWEEP_MIN_SPEEDUP:.1f}x floor",
             file=sys.stderr,
         )
         return 1

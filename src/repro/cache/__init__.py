@@ -28,6 +28,7 @@ from repro.cache.artifacts import (
     build_mirror_table_cached,
     load_dataset_cached,
 )
+from repro.cache.bundle import export_bundle, import_bundle, resolve_digest
 from repro.cache.keys import (
     assignment_digest,
     cacheable_seed,
@@ -49,11 +50,14 @@ __all__ = [
     "configure",
     "dataset_key",
     "disable",
+    "export_bundle",
     "get_cache",
     "graph_digest",
+    "import_bundle",
     "load_dataset_cached",
     "mirror_key",
     "partition_key",
+    "resolve_digest",
 ]
 
 #: Environment variable consulted when no cache has been configured.

@@ -1,0 +1,162 @@
+"""Tar bundles of content-addressed cache entries.
+
+``repro-cache export`` packs named entries into a plain tar whose members
+are ``<kind>/<key>.npz`` — exactly the cache's own layout minus the
+two-character fan-out directory, so a bundle is self-describing and
+inspectable with stock ``tar``.  ``repro-cache import`` unpacks one into a
+cache, re-validating every member with the same full-read check as
+``repro-cache verify`` and installing it atomically; a corrupt or
+misnamed member is rejected and counted, never half-installed.
+
+This is the sneakernet complement to the distributed sweep's wire fetch
+(:mod:`repro.experiments.remote`): both move entries *by digest* and both
+funnel through :meth:`ArtifactCache.import_bytes`, so a worker warmed from
+a bundle and a worker warmed over TCP hold byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tarfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.store import _VALID_KINDS, ArtifactCache
+from repro.errors import CacheError
+
+#: bundle member name: ``<kind>/<key>.npz`` with a plausible hex key
+_MEMBER_RE = re.compile(
+    r"^(?P<kind>[a-z]+)/(?P<key>[0-9a-f]{8,64})\.npz$"
+)
+
+
+def resolve_digest(
+    cache: ArtifactCache, digest: str
+) -> Tuple[str, str]:
+    """Resolve ``kind:key`` or a bare ``key`` to an existing entry.
+
+    A bare key is searched across every kind (keys are sha256 digests, so
+    cross-kind collisions are not a practical concern).  Raises
+    :class:`CacheError` when the entry does not exist.
+    """
+    if ":" in digest:
+        kind, _, key = digest.partition(":")
+        if cache.path_for(kind, key).is_file():
+            return kind, key
+        raise CacheError(f"no cache entry {kind}:{key}")
+    for kind in _VALID_KINDS:
+        try:
+            if cache.path_for(kind, digest).is_file():
+                return kind, digest
+        except CacheError:
+            break  # malformed key: same error for every kind
+    raise CacheError(f"no cache entry with digest {digest} in any kind")
+
+
+def export_bundle(
+    cache: ArtifactCache,
+    out_path: str | os.PathLike,
+    digests: Sequence[str],
+) -> Dict[str, Any]:
+    """Pack the named entries into a tar at ``out_path``.
+
+    Each digest is ``kind:key`` or a bare key; every one must exist and
+    pass the full-read validation (exporting a corrupt entry would just
+    ship the corruption).  The tar is written to a temp file and renamed
+    into place so a failed export leaves nothing behind.
+    """
+    resolved: List[Tuple[str, str]] = []
+    seen = set()
+    for digest in digests:
+        kind, key = resolve_digest(cache, digest)
+        if (kind, key) in seen:
+            continue
+        seen.add((kind, key))
+        path = cache.path_for(kind, key)
+        if not ArtifactCache._entry_ok(path):
+            raise CacheError(
+                f"cache entry {kind}:{key} failed validation; refusing to "
+                f"export a corrupt artifact (run `repro-cache verify`)"
+            )
+        resolved.append((kind, key))
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_name(out.name + ".tmp")
+    total = 0
+    try:
+        with tarfile.open(tmp, "w") as tar:
+            for kind, key in resolved:
+                path = cache.path_for(kind, key)
+                tar.add(path, arcname=f"{kind}/{key}.npz", recursive=False)
+                total += path.stat().st_size
+        os.replace(tmp, out)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    return {
+        "path": str(out),
+        "entries": len(resolved),
+        "bytes": total,
+        "members": [f"{kind}/{key}.npz" for kind, key in resolved],
+    }
+
+
+def import_bundle(
+    cache: ArtifactCache,
+    bundle_path: str | os.PathLike,
+    *,
+    max_member_bytes: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Unpack a bundle into ``cache``; returns an import report.
+
+    Every member funnels through :meth:`ArtifactCache.import_bytes`
+    (full-read validation + atomic rename).  Members with names outside
+    the ``<kind>/<key>.npz`` scheme, unknown kinds, or failing validation
+    are *rejected* — listed in the report, never installed — so importing
+    a tampered or truncated bundle degrades loudly but safely.
+    """
+    imported: List[str] = []
+    rejected: List[Dict[str, str]] = []
+    try:
+        tar = tarfile.open(bundle_path, "r")
+    except (OSError, tarfile.TarError) as exc:
+        raise CacheError(f"cannot read bundle {bundle_path}: {exc}") from exc
+    with tar:
+        for member in tar:
+            if not member.isfile():
+                continue
+            match = _MEMBER_RE.match(member.name)
+            if match is None or match.group("kind") not in _VALID_KINDS:
+                rejected.append(
+                    {"member": member.name, "reason": "unrecognized name"}
+                )
+                continue
+            if max_member_bytes is not None and member.size > max_member_bytes:
+                rejected.append(
+                    {"member": member.name, "reason": "member too large"}
+                )
+                continue
+            fh = tar.extractfile(member)
+            if fh is None:  # pragma: no cover - isfile() filtered above
+                rejected.append(
+                    {"member": member.name, "reason": "unreadable member"}
+                )
+                continue
+            data = fh.read()
+            kind, key = match.group("kind"), match.group("key")
+            if cache.import_bytes(kind, key, data):
+                imported.append(f"{kind}/{key}.npz")
+            else:
+                rejected.append(
+                    {"member": member.name, "reason": "failed validation"}
+                )
+    return {
+        "path": str(bundle_path),
+        "imported": len(imported),
+        "rejected": rejected,
+        "members": imported,
+    }

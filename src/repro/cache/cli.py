@@ -5,7 +5,11 @@ Subcommands:
 * ``stats`` — entry counts and byte totals per artifact kind;
 * ``clear`` — delete every cached artifact under the cache root;
 * ``verify`` — read every entry in full and report (or ``--evict``)
-  corrupt ones; exits 1 when corruption is found and left in place.
+  corrupt ones; exits 1 when corruption is found and left in place;
+* ``export`` — pack named entries (``kind:key`` or bare digest) into a
+  tar bundle for another machine's cache;
+* ``import`` — unpack a bundle, re-validating and atomically installing
+  every member; exits 1 when any member was rejected.
 
 The cache directory resolves from ``--cache-dir``, then the
 ``REPRO_CACHE_DIR`` environment variable.
@@ -19,7 +23,9 @@ import sys
 from typing import Optional, Sequence
 
 from repro.cache import CACHE_DIR_ENV
+from repro.cache.bundle import export_bundle, import_bundle
 from repro.cache.store import ArtifactCache
+from repro.errors import CacheError
 
 
 def _human(num_bytes: float) -> str:
@@ -51,6 +57,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--evict",
         action="store_true",
         help="delete corrupt entries instead of just reporting them",
+    )
+    export_p = sub.add_parser(
+        "export", help="pack entries into a tar bundle by digest"
+    )
+    export_p.add_argument(
+        "digests",
+        nargs="+",
+        metavar="DIGEST",
+        help="entry to export: 'kind:key' or a bare key (searched "
+        "across kinds)",
+    )
+    export_p.add_argument(
+        "--out",
+        required=True,
+        metavar="BUNDLE",
+        help="output tar path (written atomically)",
+    )
+    import_p = sub.add_parser(
+        "import", help="unpack a tar bundle into the cache"
+    )
+    import_p.add_argument(
+        "bundle", metavar="BUNDLE", help="tar produced by `repro-cache export`"
     )
     return parser
 
@@ -93,6 +121,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for item in report["corrupt"]:
             print(f"  corrupt [{item['kind']}] {item['path']}")
         return 1 if report["corrupt"] and not args.evict else 0
+    if args.command == "export":
+        try:
+            report = export_bundle(cache, args.out, args.digests)
+        except CacheError as exc:
+            print(f"export failed: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"exported {report['entries']} entries "
+            f"({_human(report['bytes'])}) to {report['path']}"
+        )
+        for member in report["members"]:
+            print(f"  {member}")
+        return 0
+    if args.command == "import":
+        try:
+            report = import_bundle(cache, args.bundle)
+        except CacheError as exc:
+            print(f"import failed: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"imported {report['imported']} entries from {report['path']} "
+            f"into {cache_dir}"
+        )
+        for item in report["rejected"]:
+            print(
+                f"  rejected {item['member']}: {item['reason']}",
+                file=sys.stderr,
+            )
+        return 1 if report["rejected"] else 0
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

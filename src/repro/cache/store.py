@@ -162,6 +162,63 @@ class ArtifactCache:
         return True
 
     # ------------------------------------------------------------------ #
+    # Raw transfer (wire fetches, tar bundles)
+    # ------------------------------------------------------------------ #
+
+    def read_bytes(self, kind: str, key: str) -> Optional[bytes]:
+        """Serialized entry bytes for shipping elsewhere, ``None`` on miss.
+
+        The receiving side re-validates before installing (see
+        :meth:`import_bytes`), so no full-read check happens here.
+        """
+        path = self.path_for(kind, key)
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def import_bytes(self, kind: str, key: str, data: bytes) -> bool:
+        """Install a serialized entry produced by another cache, atomically.
+
+        The payload is written to a temp file and checked with the same
+        full-read validation as :meth:`verify` *before* the rename — a
+        truncated or corrupted transfer (torn TCP stream, bad tar member)
+        never becomes a cache entry.  Returns ``False`` on validation or
+        storage failure.
+        """
+        path = self.path_for(kind, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npz"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                if not self._entry_ok(Path(tmp)):
+                    self._evict(Path(tmp))
+                    self.counters.add(f"cache.{kind}.corrupt")
+                    get_tracer().event(
+                        "cache-import", kind=kind, outcome="corrupt"
+                    )
+                    return False
+                os.replace(tmp, path)
+            except BaseException:
+                self._evict(Path(tmp))
+                raise
+        except OSError:
+            self.counters.add(f"cache.{kind}.write_errors")
+            get_tracer().event("cache-import", kind=kind, outcome="error")
+            return False
+        self.counters.add(f"cache.{kind}.writes")
+        get_tracer().event(
+            "cache-import", kind=kind, outcome="write", bytes=len(data)
+        )
+        if self.max_bytes is not None:
+            self._enforce_cap()
+        return True
+
+    # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
 

@@ -19,7 +19,12 @@ Injection points:
 * **Worker actions** (``kill``/``hang``/``crash``) ride into sweep workers
   through :func:`repro.experiments.sweep.run_sweep`'s ``chaos_plan`` and
   execute via :func:`apply_in_worker` — a real ``SIGKILL``, a real
-  ``SIGSTOP``, a real ``os._exit``.  No exception, no cleanup.
+  ``SIGSTOP``, a real ``os._exit``.  No exception, no cleanup.  The same
+  plan crosses the wire under ``--scheduler remote``: the coordinator
+  takes the action at dispatch and ships it with the task, and the
+  ``repro-worker`` process applies it to *itself* before doing any work
+  (:mod:`repro.experiments.remote`), so distributed supervision is
+  exercised by genuinely killed remote workers.
 * **File faults** (:func:`tear_tail`, :func:`flip_bytes`,
   :func:`corrupt_artifact`) mutilate on-disk state the way crashed writers
   and bad disks do, for recovery-path tests.

@@ -103,6 +103,26 @@ class JournalError(ExperimentError):
     """
 
 
+class SchedulerError(ExperimentError):
+    """A sweep scheduler could not be constructed or could not start.
+
+    Raised for misconfiguration of the distributed sweep path — a remote
+    scheduler without a shared token or artifact cache, an unparseable
+    bind address, or no worker connecting within the startup wait.  Task
+    failures are *not* scheduler errors; they go through the normal
+    retry/quarantine/keep-going machinery.
+    """
+
+
+class WorkerAuthError(SchedulerError):
+    """A sweep worker failed the coordinator's token handshake.
+
+    Raised worker-side when the coordinator rejects the ``hello`` (bad or
+    missing shared token, protocol version mismatch).  The coordinator
+    never raises for a bad worker — it just drops the connection.
+    """
+
+
 class SweepInterrupted(ExperimentError):
     """A sweep shut down gracefully on SIGINT/SIGTERM.
 

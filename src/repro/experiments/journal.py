@@ -360,10 +360,14 @@ class SweepJournal:
         recovery = cls.recover(path)
         expected = sweep_digest(tasks)
         if recovery.sweep_key != expected:
+            # Both full digests in the message: diffing a coordinator's
+            # task view against a journal's is exactly how a mismatched
+            # resume gets debugged (repro-experiments run sweep --dry-run
+            # prints the current side).
             raise JournalError(
-                f"journal {path} pins a different sweep (task-list digest "
-                f"{recovery.sweep_key[:12]}… != {expected[:12]}…); refusing "
-                f"to resume"
+                f"journal {path} pins a different sweep (journal task-list "
+                f"digest {recovery.sweep_key} != current task-list digest "
+                f"{expected}); refusing to resume"
             )
         fh = open(path, "r+b")
         fh.truncate(recovery.valid_bytes)

@@ -6,6 +6,8 @@ Examples::
     repro-experiments run fig5
     repro-experiments run fig6 --tier tiny
     repro-experiments run sweep --jobs 4
+    repro-experiments run sweep --dry-run
+    repro-experiments run sweep --scheduler remote --ready-file cf.json
     repro-experiments run all --json out/
 """
 
@@ -166,6 +168,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="SIGSTOP the worker running each of N victim tasks "
         "(requires --chaos-seed)",
     )
+    run_p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved sweep task list and its content digest "
+        "(sweep_digest) without executing anything",
+    )
+    run_p.add_argument(
+        "--scheduler",
+        default="local",
+        choices=("local", "remote"),
+        help="sweep execution placement: 'local' (in-process / supervised "
+        "pool, the default) or 'remote' (TCP coordinator feeding "
+        "repro-worker processes)",
+    )
+    run_p.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="coordinator bind endpoint for --scheduler remote "
+        "(port 0 = OS-assigned; default: 127.0.0.1:0)",
+    )
+    run_p.add_argument(
+        "--token",
+        default=None,
+        help="shared worker token for --scheduler remote "
+        "(default: $REPRO_SWEEP_TOKEN)",
+    )
+    run_p.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="FILE",
+        help="write {pid, host, port} JSON once the coordinator is bound "
+        "(what workers and scripts poll for the actual port)",
+    )
+    run_p.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="wait for N connected workers before declaring the "
+        "coordinator ready (default: 1)",
+    )
+    run_p.add_argument(
+        "--worker-wait",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="how long to wait for --min-workers before giving up "
+        "(default: 60)",
+    )
     return parser
 
 
@@ -187,6 +239,8 @@ def run_experiment(
     poison_threshold: Optional[int] = None,
     heartbeat_timeout_s: float = 30.0,
     chaos_spec=None,
+    scheduler=None,
+    dry_run: bool = False,
 ) -> str:
     """Run one experiment and return its rendered report."""
     try:
@@ -214,6 +268,8 @@ def run_experiment(
             poison_threshold=poison_threshold,
             heartbeat_timeout_s=heartbeat_timeout_s,
             chaos_spec=chaos_spec,
+            scheduler=scheduler,
+            dry_run=dry_run,
         )
     elif experiment_id == "faults":
         result = fn(  # type: ignore[call-arg]
@@ -255,6 +311,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.resume and args.journal is None:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
+    if args.dry_run and targets != ["sweep"]:
+        print(
+            "error: --dry-run applies to the 'sweep' experiment only",
+            file=sys.stderr,
+        )
+        return 2
+    scheduler = None
+    if args.scheduler == "remote":
+        if targets != ["sweep"]:
+            print(
+                "error: --scheduler remote applies to the 'sweep' "
+                "experiment only",
+                file=sys.stderr,
+            )
+            return 2
+        import os as _os
+
+        from repro.errors import SchedulerError
+        from repro.experiments.remote import TOKEN_ENV, RemoteScheduler
+
+        token = args.token or _os.environ.get(TOKEN_ENV, "")
+        try:
+            bind_host, _sep, bind_port = args.bind.rpartition(":")
+            if not _sep or not bind_host:
+                raise ValueError
+            scheduler = RemoteScheduler(
+                host=bind_host,
+                port=int(bind_port),
+                token=token,
+                min_workers=args.min_workers,
+                worker_wait_s=args.worker_wait,
+                ready_file=args.ready_file,
+            )
+        except ValueError:
+            print(
+                f"error: --bind expects HOST:PORT, got {args.bind!r}",
+                file=sys.stderr,
+            )
+            return 2
+        except SchedulerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     chaos_spec = None
     if args.chaos_seed is not None:
         from repro.chaos import ChaosSpec
@@ -294,6 +392,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     poison_threshold=args.quarantine_after,
                     heartbeat_timeout_s=args.heartbeat_timeout,
                     chaos_spec=chaos_spec,
+                    scheduler=scheduler,
+                    dry_run=args.dry_run,
                 )
             except ExperimentError as exc:
                 print(f"error: {exc}", file=sys.stderr)

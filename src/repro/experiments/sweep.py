@@ -50,11 +50,16 @@ from repro.experiments.fig7 import PANELS
 from repro.experiments.journal import (
     SweepJournal,
     outcome_from_json,
+    sweep_digest,
     task_digest,
+)
+from repro.experiments.scheduler import (
+    LocalScheduler,
+    SweepOptions,
+    SweepScheduler,
 )
 from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.graph.csr import CSRGraph
-from repro.cache import load_dataset_cached
 from repro.chaos import ChaosPlan, ChaosSpec
 from repro.kernels.registry import get_kernel
 from repro.obs.metrics import METRICS, M
@@ -66,6 +71,7 @@ from repro.obs.span import (
     use_tracer,
 )
 from repro.runtime.config import SystemConfig
+from repro.utils.backoff import BackoffPolicy
 from repro.utils.tables import TextTable
 
 
@@ -705,8 +711,15 @@ def run_sweep(
     resume: bool = False,
     poison_threshold: Optional[int] = None,
     heartbeat_timeout_s: float = 30.0,
+    scheduler: Optional[SweepScheduler] = None,
 ) -> List[SweepOutcome]:
     """Run every task and return outcomes in task order.
+
+    Execution placement is delegated to a :class:`SweepScheduler`; the
+    default :class:`LocalScheduler` preserves the historical behavior
+    described below, and :class:`repro.experiments.remote.RemoteScheduler`
+    fans the same tasks out to ``repro-worker`` processes over TCP with
+    identical journal, retry, and quarantine semantics.
 
     ``jobs <= 1`` runs in-process.  Otherwise each distinct ``(dataset,
     tier, seed)`` graph is loaded once, published to shared memory, and the
@@ -762,44 +775,20 @@ def run_sweep(
     results: Dict[int, SweepOutcome] = dict(session.resumed)
     todo = [(idx, task) for idx, task in enumerate(tasks) if idx not in results]
 
+    opts = SweepOptions(
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        backoff=BackoffPolicy(base_s=backoff_s, cap_s=backoff_cap_s),
+        keep_going=keep_going,
+        collect_spans=collect_spans,
+        poison_threshold=poison_threshold,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+    )
     try:
         if todo:
-            # Load each distinct graph exactly once, in task order — and
-            # only for the tasks actually left to run on a resume.
-            graphs: Dict[Tuple[str, str, int], Tuple[CSRGraph, str]] = {}
-            for _idx, task in todo:
-                if task.graph_key not in graphs:
-                    graph, ds = load_dataset_cached(
-                        task.dataset, tier=task.tier, seed=task.seed
-                    )
-                    graphs[task.graph_key] = (graph, ds.name)
-            if jobs <= 1:
-                _run_serial(
-                    todo,
-                    graphs,
-                    results,
-                    session,
-                    chaos,
-                    keep_going=keep_going,
-                    collect_spans=collect_spans,
-                )
-            else:
-                _run_supervised(
-                    todo,
-                    graphs,
-                    results,
-                    session,
-                    chaos,
-                    jobs=jobs,
-                    timeout=timeout,
-                    retries=retries,
-                    backoff_s=backoff_s,
-                    backoff_cap_s=backoff_cap_s,
-                    keep_going=keep_going,
-                    collect_spans=collect_spans,
-                    poison_threshold=poison_threshold,
-                    heartbeat_timeout_s=heartbeat_timeout_s,
-                )
+            active = scheduler if scheduler is not None else LocalScheduler()
+            active.execute(todo, results, session, chaos, opts)
         session.end(results)
     finally:
         session.close()
@@ -847,8 +836,7 @@ def _run_supervised(
     jobs: int,
     timeout: Optional[float],
     retries: int,
-    backoff_s: float,
-    backoff_cap_s: float,
+    backoff: BackoffPolicy,
     keep_going: bool,
     collect_spans: bool,
     poison_threshold: Optional[int],
@@ -1125,13 +1113,51 @@ def _run_supervised(
                 if pending:
                     # Interruptible, capped backoff: Ctrl-C during the wait
                     # exits promptly instead of sleeping out 2**round.
-                    delay = min(backoff_cap_s, backoff_s * (2**round_no))
+                    delay = backoff.delay(round_no)
                     if stop.wait(delay):
                         _abort(())
                     round_no += 1
     finally:
         for signum, handler in old_handlers.items():
             signal.signal(signum, handler)
+
+
+def _dry_run_result(tasks: Sequence[SweepTask], *, jobs: int) -> ExperimentResult:
+    """Resolved task list plus content digests; nothing executes.
+
+    The per-task digests are exactly what journal ``start`` records pin
+    and ``sweep_digest`` is what :meth:`SweepJournal.resume` validates, so
+    two dry runs diff cleanly when a resume refuses a changed task list.
+    """
+    digest = sweep_digest(tasks)
+    table = TextTable(
+        ["#", "workload", "tier", "seed", "backend", "task digest"],
+        title=f"Sweep dry run — {len(tasks)} workloads, jobs={max(jobs, 1)}",
+    )
+    tasks_data: Dict[str, object] = {}
+    for idx, task in enumerate(tasks):
+        tdig = task_digest(task)
+        table.add_row(idx, task.label, task.tier, task.seed, task.backend, tdig[:12])
+        tasks_data[task.label] = {
+            "index": idx,
+            "dataset": task.dataset,
+            "kernel": task.kernel,
+            "partitions": task.partitions,
+            "tier": task.tier,
+            "seed": task.seed,
+            "task_digest": tdig,
+        }
+    result = ExperimentResult(
+        experiment_id="sweep",
+        title="Sweep dry run (no tasks executed)",
+        tables=[table],
+        data={"dry_run": True, "sweep_digest": digest, "tasks": tasks_data},
+    )
+    result.notes.append(
+        f"sweep_digest {digest} — the content-addressed identity a "
+        "--journal pins and a --resume validates.  No task was executed."
+    )
+    return result
 
 
 def run(
@@ -1151,6 +1177,8 @@ def run(
     poison_threshold: Optional[int] = None,
     heartbeat_timeout_s: float = 30.0,
     chaos_spec: Optional[ChaosSpec] = None,
+    scheduler: Optional[SweepScheduler] = None,
+    dry_run: bool = False,
 ) -> ExperimentResult:
     """Sweep experiment entry point (``repro-experiments sweep``).
 
@@ -1170,6 +1198,13 @@ def run(
     ``chaos_spec`` the process-level fault harness (``--chaos-seed`` et
     al.; see :mod:`repro.chaos`) — chaos victims are chosen over the
     final task labels, after every per-task override is applied.
+
+    ``scheduler`` overrides execution placement (``--scheduler remote``
+    builds a :class:`~repro.experiments.remote.RemoteScheduler`); the
+    default is single-host.  ``dry_run`` prints the resolved task list
+    plus the content-addressed ``sweep_digest`` and executes nothing —
+    the digest is what a journal pins and what a resume validates, so
+    diffing two dry runs explains any "different sweep" refusal.
     """
     chosen = list(tasks) if tasks is not None else fig7_sweep_tasks(tier=tier, seed=seed)
     if memory_budget_bytes is not None:
@@ -1189,6 +1224,8 @@ def run(
             )
             for task in chosen
         ]
+    if dry_run:
+        return _dry_run_result(chosen, jobs=jobs)
     chaos_plan = (
         chaos_spec.plan([task.label for task in chosen])
         if chaos_spec is not None and chaos_spec.total_victims
@@ -1204,6 +1241,7 @@ def run(
         poison_threshold=poison_threshold,
         heartbeat_timeout_s=heartbeat_timeout_s,
         chaos_plan=chaos_plan,
+        scheduler=scheduler,
     )
     tracer = get_tracer()
     if tracer.enabled:

@@ -454,6 +454,28 @@ class M:
         description="poison tasks quarantined after repeated pool kills",
     )
 
+    # Distributed sweep (remote scheduler + workers).
+    SWEEP_REMOTE_WORKERS = METRICS.declare(
+        "sweep.remote-workers", "gauge",
+        description="workers currently connected to the sweep coordinator",
+    )
+    SWEEP_REMOTE_TASKS = METRICS.declare(
+        "sweep.remote-tasks-dispatched",
+        description="tasks dispatched to remote sweep workers",
+    )
+    SWEEP_REMOTE_DISCONNECTS = METRICS.declare(
+        "sweep.remote-disconnects",
+        description="worker connections lost mid-task (task re-queued)",
+    )
+    SWEEP_ARTIFACTS_SHIPPED = METRICS.declare(
+        "sweep.artifacts-shipped",
+        description="cache artifacts served to workers over the wire",
+    )
+    SWEEP_ARTIFACT_BYTES = METRICS.declare(
+        "sweep.artifact-bytes-shipped", unit="bytes",
+        description="artifact payload bytes shipped to sweep workers",
+    )
+
     # Typed-instrument series (gauges / histograms).
     CACHE_SIZE_BYTES = METRICS.declare(
         "cache.size-bytes", "gauge", unit="bytes",

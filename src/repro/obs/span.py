@@ -371,6 +371,29 @@ def use_tracer(tracer) -> Iterator[Any]:
 
 
 # --------------------------------------------------------------------------- #
+# Batch stamping (cross-host attribution)
+# --------------------------------------------------------------------------- #
+
+def stamp_batch(
+    batch: Sequence[Mapping[str, Any]], **attrs: Any
+) -> SpanBatch:
+    """Copy of a span batch with ``attrs`` merged into every span.
+
+    Used by the distributed sweep coordinator to stamp ``host=`` /
+    ``worker=`` onto batches received over the wire *before* adopting
+    them, so a stitched cross-host trace records where each task actually
+    ran.  The input batch is not mutated; per-span attrs win nothing —
+    stamped keys overwrite existing ones.
+    """
+    stamped = []
+    for d in batch:
+        merged = dict(d)
+        merged["attrs"] = {**dict(d.get("attrs") or {}), **attrs}
+        stamped.append(merged)
+    return tuple(stamped)
+
+
+# --------------------------------------------------------------------------- #
 # Structural comparison (timing-free)
 # --------------------------------------------------------------------------- #
 

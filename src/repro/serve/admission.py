@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.errors import Overloaded, QuotaExceeded
 from repro.obs.metrics import METRICS, M
+from repro.utils.backoff import retry_after_hint
 
 
 class TokenBucket:
@@ -88,6 +89,7 @@ class AdmissionController:
         self._seq = 0
         self._queued = 0
         self._shed = 0
+        self._shed_streak = 0
         self._quota_rejects = 0
 
     # ------------------------------------------------------------------ #
@@ -130,12 +132,16 @@ class AdmissionController:
             )
         if self._queued >= self.max_queue_depth:
             self._shed += 1
+            self._shed_streak += 1
             METRICS.counter(M.SERVE_SHED).inc()
+            # Consecutive sheds escalate the hint (1s, 2s, 4s, ... capped)
+            # so clients back off harder the longer the overload lasts.
             raise Overloaded(
                 f"queue full ({self._queued}/{self.max_queue_depth} admitted "
                 "requests waiting); shedding",
-                retry_after_s=1.0,
+                retry_after_s=retry_after_hint(self._shed_streak),
             )
+        self._shed_streak = 0
         ticket = Ticket(tenant=tenant, priority=priority, enqueued_at=now)
         self._seq += 1
         # Higher priority first; FIFO within a level.

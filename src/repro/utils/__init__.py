@@ -1,5 +1,10 @@
 """Shared utilities: RNG seeding, unit formatting, validation, tables."""
 
+from repro.utils.backoff import (
+    BackoffPolicy,
+    exponential_delay,
+    retry_after_hint,
+)
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.units import (
     format_bytes,
@@ -21,6 +26,9 @@ from repro.utils.validation import (
 from repro.utils.tables import TextTable
 
 __all__ = [
+    "BackoffPolicy",
+    "exponential_delay",
+    "retry_after_hint",
     "ensure_rng",
     "spawn_rngs",
     "format_bytes",

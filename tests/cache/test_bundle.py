@@ -1,0 +1,230 @@
+"""Tar bundles: the sneakernet path for content-addressed cache entries.
+
+A bundle exported on one machine and imported on another must hold
+byte-identical artifacts, refuse to ship corruption, and reject
+tampered or misnamed members on the way in — the same guarantees the
+distributed sweep's wire fetch gives, because both funnel through
+``ArtifactCache.import_bytes``.
+"""
+
+from __future__ import annotations
+
+import io
+import tarfile
+
+import numpy as np
+import pytest
+
+from repro.cache.bundle import export_bundle, import_bundle, resolve_digest
+from repro.cache.cli import main as cache_cli
+from repro.cache.store import ArtifactCache
+from repro.errors import CacheError
+
+KEY = "ab" * 32
+KEY2 = "cd" * 32
+
+
+def _arrays(n=5):
+    return {
+        "indptr": np.arange(n, dtype=np.int64),
+        "indices": np.asarray([1, 2, 3, 0], dtype=np.int64),
+    }
+
+
+@pytest.fixture
+def stocked(tmp_path):
+    cache = ArtifactCache(tmp_path / "src-cache")
+    assert cache.put("dataset", KEY, _arrays(), meta={"n": 5})
+    assert cache.put("partition", KEY2, _arrays(9), meta={"parts": 4})
+    return cache
+
+
+class TestResolveDigest:
+    def test_qualified_and_bare_forms(self, stocked):
+        assert resolve_digest(stocked, f"dataset:{KEY}") == ("dataset", KEY)
+        assert resolve_digest(stocked, KEY2) == ("partition", KEY2)
+
+    def test_missing_entry_raises(self, stocked):
+        with pytest.raises(CacheError, match="no cache entry"):
+            resolve_digest(stocked, "ef" * 32)
+        with pytest.raises(CacheError, match="no cache entry"):
+            resolve_digest(stocked, f"dataset:{KEY2}")
+
+
+class TestRoundTrip:
+    def test_export_import_is_byte_identical(self, stocked, tmp_path):
+        bundle = tmp_path / "bundle.tar"
+        report = export_bundle(
+            stocked, bundle, [f"dataset:{KEY}", KEY2]
+        )
+        assert report["entries"] == 2
+        assert sorted(report["members"]) == sorted(
+            [f"dataset/{KEY}.npz", f"partition/{KEY2}.npz"]
+        )
+
+        dest = ArtifactCache(tmp_path / "dst-cache")
+        result = import_bundle(dest, bundle)
+        assert result["imported"] == 2
+        assert result["rejected"] == []
+        for kind, key in (("dataset", KEY), ("partition", KEY2)):
+            src = stocked.path_for(kind, key).read_bytes()
+            dst = dest.path_for(kind, key).read_bytes()
+            assert src == dst
+
+    def test_export_dedups_repeated_digests(self, stocked, tmp_path):
+        report = export_bundle(
+            stocked,
+            tmp_path / "b.tar",
+            [KEY, f"dataset:{KEY}", KEY],
+        )
+        assert report["entries"] == 1
+
+    def test_bundle_is_plain_tar(self, stocked, tmp_path):
+        bundle = tmp_path / "b.tar"
+        export_bundle(stocked, bundle, [KEY])
+        with tarfile.open(bundle) as tar:
+            assert tar.getnames() == [f"dataset/{KEY}.npz"]
+
+
+class TestExportSafety:
+    def test_refuses_corrupt_entry(self, stocked, tmp_path):
+        path = stocked.path_for("dataset", KEY)
+        path.write_bytes(b"not a zip file")
+        with pytest.raises(CacheError, match="refusing"):
+            export_bundle(stocked, tmp_path / "b.tar", [f"dataset:{KEY}"])
+        assert not (tmp_path / "b.tar").exists()
+
+    def test_failed_export_leaves_no_partial_file(self, stocked, tmp_path):
+        with pytest.raises(CacheError):
+            export_bundle(
+                stocked, tmp_path / "b.tar", [KEY, "ef" * 32]
+            )
+        assert list(tmp_path.glob("b.tar*")) == []
+
+
+class TestImportSafety:
+    def _tar_with(self, path, members):
+        with tarfile.open(path, "w") as tar:
+            for name, data in members:
+                info = tarfile.TarInfo(name)
+                info.size = len(data)
+                tar.addfile(info, io.BytesIO(data))
+
+    def test_rejects_misnamed_members(self, stocked, tmp_path):
+        bundle = tmp_path / "evil.tar"
+        self._tar_with(
+            bundle,
+            [
+                ("../../escape.npz", b"x"),
+                ("dataset/not-hex.npz", b"x"),
+                (f"nosuchkind/{KEY}.npz", b"x"),
+            ],
+        )
+        dest = ArtifactCache(tmp_path / "dst")
+        report = import_bundle(dest, bundle)
+        assert report["imported"] == 0
+        assert {r["reason"] for r in report["rejected"]} == {
+            "unrecognized name"
+        }
+        assert dest.stats()["entries"] == 0
+
+    def test_rejects_corrupt_member(self, stocked, tmp_path):
+        bundle = tmp_path / "torn.tar"
+        good = stocked.read_bytes("dataset", KEY)
+        self._tar_with(
+            bundle,
+            [
+                (f"dataset/{KEY}.npz", good[: len(good) // 2]),
+                (f"partition/{KEY2}.npz", stocked.read_bytes("partition", KEY2)),
+            ],
+        )
+        dest = ArtifactCache(tmp_path / "dst")
+        report = import_bundle(dest, bundle)
+        assert report["imported"] == 1
+        assert report["rejected"] == [
+            {"member": f"dataset/{KEY}.npz", "reason": "failed validation"}
+        ]
+        assert dest.get("dataset", KEY) is None
+        assert dest.get("partition", KEY2) is not None
+
+    def test_member_size_ceiling(self, stocked, tmp_path):
+        bundle = tmp_path / "big.tar"
+        export_bundle(stocked, bundle, [KEY])
+        dest = ArtifactCache(tmp_path / "dst")
+        report = import_bundle(dest, bundle, max_member_bytes=16)
+        assert report["imported"] == 0
+        assert report["rejected"][0]["reason"] == "member too large"
+
+    def test_unreadable_bundle_raises(self, tmp_path):
+        dest = ArtifactCache(tmp_path / "dst")
+        with pytest.raises(CacheError, match="cannot read bundle"):
+            import_bundle(dest, tmp_path / "missing.tar")
+
+
+class TestImportBytes:
+    def test_corrupt_bytes_never_install(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.import_bytes("dataset", KEY, b"garbage") is False
+        assert not cache.path_for("dataset", KEY).exists()
+        # and no temp droppings either
+        assert list((tmp_path / "dataset").rglob(".tmp-*")) == []
+
+    def test_valid_bytes_round_trip(self, tmp_path):
+        src = ArtifactCache(tmp_path / "a")
+        src.put("dataset", KEY, _arrays(), meta={"n": 5})
+        data = src.read_bytes("dataset", KEY)
+        dst = ArtifactCache(tmp_path / "b")
+        assert dst.import_bytes("dataset", KEY, data) is True
+        arrays, meta = dst.get("dataset", KEY)
+        np.testing.assert_array_equal(arrays["indptr"], _arrays()["indptr"])
+        assert meta["n"] == 5
+
+
+class TestCacheCli:
+    def test_export_then_import(self, stocked, tmp_path, capsys):
+        bundle = tmp_path / "b.tar"
+        rc = cache_cli(
+            [
+                "--cache-dir",
+                str(stocked.root),
+                "export",
+                f"dataset:{KEY}",
+                KEY2,
+                "--out",
+                str(bundle),
+            ]
+        )
+        assert rc == 0
+        assert "exported 2 entries" in capsys.readouterr().out
+        dst_dir = tmp_path / "dst"
+        rc = cache_cli(["--cache-dir", str(dst_dir), "import", str(bundle)])
+        assert rc == 0
+        assert "imported 2 entries" in capsys.readouterr().out
+        assert ArtifactCache(dst_dir).stats()["entries"] == 2
+
+    def test_export_unknown_digest_exits_2(self, stocked, tmp_path, capsys):
+        rc = cache_cli(
+            [
+                "--cache-dir",
+                str(stocked.root),
+                "export",
+                "ef" * 32,
+                "--out",
+                str(tmp_path / "b.tar"),
+            ]
+        )
+        assert rc == 2
+        assert "export failed" in capsys.readouterr().err
+
+    def test_import_with_rejects_exits_1(self, tmp_path, capsys):
+        bundle = tmp_path / "evil.tar"
+        with tarfile.open(bundle, "w") as tar:
+            info = tarfile.TarInfo("dataset/zz.npz")
+            info.size = 1
+            tar.addfile(info, io.BytesIO(b"x"))
+        rc = cache_cli(
+            ["--cache-dir", str(tmp_path / "dst"), "import", str(bundle)]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "rejected" in err

@@ -113,6 +113,20 @@ class TestJournalLifecycle:
         with pytest.raises(JournalError, match="different sweep"):
             SweepJournal.resume(path, list(reversed(TASKS)))
 
+    def test_mismatch_message_names_both_digests(self, tmp_path):
+        # Diffing the journal's task-list digest against the current one
+        # (printed by `run sweep --dry-run`) is how a refused resume gets
+        # debugged, so the error must carry both in full.
+        path = tmp_path / "sweep.journal"
+        with SweepJournal.create(path, TASKS):
+            pass
+        other = list(reversed(TASKS))
+        with pytest.raises(JournalError) as excinfo:
+            SweepJournal.resume(path, other)
+        message = str(excinfo.value)
+        assert sweep_digest(TASKS) in message
+        assert sweep_digest(other) in message
+
     def test_closed_journal_refuses_appends(self, tmp_path):
         journal = SweepJournal.create(tmp_path / "j", TASKS)
         journal.close()
@@ -145,6 +159,64 @@ class TestRecoveryScan:
         with journal:
             journal.start(1, task_digest(TASKS[1]), 1)
         assert path.stat().st_size > intact
+        clean = SweepJournal.recover(path)
+        assert clean.torn_records == 0
+        assert clean.started == {0: 1, 1: 1}
+
+    def test_sigkill_mid_record_recovers_longest_valid_prefix(self, tmp_path):
+        # A real torn write: the writer is SIGKILL'd with half a record
+        # flushed to disk.  Recovery keeps every whole record before the
+        # tear and resume truncates the fragment away.
+        import os
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+        from pathlib import Path
+
+        path = tmp_path / "sweep.journal"
+        child = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.experiments.journal import (
+                SweepJournal, task_digest, encode_record,
+            )
+            from repro.experiments.sweep import SweepTask
+
+            TASKS = [
+                SweepTask("wikitalk-sim", "pagerank", 4, "tiny", 7,
+                          max_iterations=4),
+                SweepTask("wikitalk-sim", "bfs", 4, "tiny", 7,
+                          max_iterations=6),
+            ]
+            journal = SweepJournal.create({str(path)!r}, TASKS)
+            journal.start(0, task_digest(TASKS[0]), 1)
+            record = encode_record(
+                {{"type": "start", "idx": 1,
+                  "digest": task_digest(TASKS[1]), "attempt": 1}}
+            )
+            journal._fh.write(record[: len(record) // 2])
+            journal._fh.flush()
+            os.fsync(journal._fh.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", child], env=env, timeout=60
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        recovery = SweepJournal.recover(path)
+        assert recovery.torn_records == 1
+        assert recovery.started == {0: 1}
+        assert recovery.in_flight() == (0,)
+
+        journal, resumed = SweepJournal.resume(path, TASKS)
+        with journal:
+            journal.start(1, task_digest(TASKS[1]), 1)
         clean = SweepJournal.recover(path)
         assert clean.torn_records == 0
         assert clean.started == {0: 1, 1: 1}

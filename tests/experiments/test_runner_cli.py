@@ -76,6 +76,64 @@ class TestCLI:
         assert args.heartbeat_timeout == 5.0
         assert (args.chaos_seed, args.chaos_kill, args.chaos_hang) == (3, 1, 1)
 
+    def test_dry_run_prints_task_list_and_digest(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run", "sweep", "--tier", "tiny",
+                    "--dry-run", "--json", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pagerank" in out
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert payload["dry_run"] is True
+        digest = payload["sweep_digest"]
+        assert len(digest) == 64 and set(digest) <= set("0123456789abcdef")
+        assert all(
+            "task_digest" in task for task in payload["tasks"].values()
+        )
+
+    def test_dry_run_executes_nothing(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.journal"
+        assert (
+            main(
+                [
+                    "run", "sweep", "--tier", "tiny",
+                    "--dry-run", "--journal", str(journal),
+                ]
+            )
+            == 0
+        )
+        assert not journal.exists()
+
+    def test_dry_run_only_applies_to_sweep(self, capsys):
+        assert main(["run", "fig5", "--dry-run"]) == 2
+        assert "--dry-run" in capsys.readouterr().err
+
+    def test_remote_scheduler_only_applies_to_sweep(self, capsys):
+        assert main(["run", "fig5", "--scheduler", "remote"]) == 2
+        assert "--scheduler remote" in capsys.readouterr().err
+
+    def test_remote_scheduler_requires_token(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_TOKEN", raising=False)
+        assert main(["run", "sweep", "--scheduler", "remote"]) == 2
+        assert "token" in capsys.readouterr().err
+
+    def test_remote_scheduler_rejects_bad_bind(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "sweep", "--scheduler", "remote",
+                    "--token", "t", "--bind", "nonsense",
+                ]
+            )
+            == 2
+        )
+        assert "--bind" in capsys.readouterr().err
+
     def test_journaled_sweep_cli_roundtrip(self, tmp_path, capsys):
         journal = tmp_path / "sweep.journal"
         base = [
