@@ -30,9 +30,16 @@ report ledger-identical outcomes across 1/2/4 workers and at least a
 1.6x two-worker speedup — the speedup floor applies only on hosts with
 two or more cores (single-core runners pass with a note).
 
+A sixth gate covers the adaptive offload controller: the
+``adaptive_policy_overhead`` section of ``BENCH_offload.json``
+(benchmarks/test_offload_bench.py) must report a per-iteration decision
+cycle costing at most 2% of the engine iteration it steers — the same
+bar as the observability layer.
+
 ``--only`` selects which gates run: ``engine``, ``obs``, ``backend``,
-``serve``, and ``sweep`` each require their section; the default ``all``
-requires the engine section and checks the others when present.
+``serve``, ``sweep``, and ``offload`` each require their section; the
+default ``all`` requires the engine section and checks the others when
+present.
 
 Usage::
 
@@ -75,6 +82,11 @@ SWEEP_SECTION = "remote_scaling_medium"
 SWEEP_METRIC = "speedup_2w"
 SWEEP_MIN_SPEEDUP = 1.6
 
+#: Optional gate: adaptive offload controller (benchmarks/test_offload_bench.py).
+OFFLOAD_SECTION = "adaptive_policy_overhead"
+OFFLOAD_METRIC = "overhead_pct"
+OFFLOAD_MAX_PCT = 2.0
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -103,11 +115,16 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "benchmarks" / "out" / "BENCH_sweep.json"),
     )
     parser.add_argument(
+        "--offload-current",
+        default=str(REPO_ROOT / "benchmarks" / "out" / "BENCH_offload.json"),
+    )
+    parser.add_argument(
         "--only",
-        choices=("all", "engine", "obs", "backend", "serve", "sweep"),
+        choices=("all", "engine", "obs", "backend", "serve", "sweep", "offload"),
         default="all",
         help="which gates to enforce (default: engine required, obs/"
-        "backend/serve/sweep checked when their sections are present)",
+        "backend/serve/sweep/offload checked when their sections are "
+        "present)",
     )
     args = parser.parse_args(argv)
 
@@ -117,6 +134,8 @@ def main(argv=None) -> int:
         return _check_serve(args.serve_current, required=True)
     if args.only == "sweep":
         return _check_sweep(args.sweep_current, required=True)
+    if args.only == "offload":
+        return _check_offload(args.offload_current, required=True)
 
     try:
         current_doc = json.loads(Path(args.current).read_text())
@@ -194,6 +213,12 @@ def main(argv=None) -> int:
     # And so does the distributed-sweep scaling gate.
     if args.only == "all" and Path(args.sweep_current).exists():
         code = _check_sweep(args.sweep_current, required=False)
+        if code:
+            return code
+
+    # And the adaptive offload-controller gate.
+    if args.only == "all" and Path(args.offload_current).exists():
+        code = _check_offload(args.offload_current, required=False)
         if code:
             return code
 
@@ -366,6 +391,46 @@ def _check_sweep(path: str, *, required: bool) -> int:
         print(
             f"bench-regression: FAIL — 2-worker sweep speedup "
             f"{speedup:.2f}x below the {SWEEP_MIN_SPEEDUP:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if required:
+        print("bench-regression: OK")
+    return 0
+
+
+def _check_offload(path: str, *, required: bool) -> int:
+    """Gate the adaptive controller's overhead recorded in BENCH_offload.json.
+
+    The per-iteration decide + calibrate cycle must cost at most 2% of
+    the engine iteration it steers — per-iteration placement decisions
+    are only viable if making them is effectively free.
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        print(
+            f"bench-regression: {path} missing — run "
+            "pytest benchmarks/test_offload_bench.py first",
+            file=sys.stderr,
+        )
+        return 2
+    if OFFLOAD_SECTION not in doc:
+        print(
+            f"bench-regression: section {OFFLOAD_SECTION!r} missing from "
+            f"{path}",
+            file=sys.stderr,
+        )
+        return 2
+    overhead = float(doc[OFFLOAD_SECTION][OFFLOAD_METRIC])
+    print(
+        f"bench-regression: {OFFLOAD_SECTION}.{OFFLOAD_METRIC} = "
+        f"{overhead:.2f}% (max {OFFLOAD_MAX_PCT:.0f}%)"
+    )
+    if overhead > OFFLOAD_MAX_PCT:
+        print(
+            f"bench-regression: FAIL — adaptive controller overhead "
+            f"{overhead:.2f}% exceeds {OFFLOAD_MAX_PCT:.0f}%",
             file=sys.stderr,
         )
         return 1

@@ -105,6 +105,7 @@ from repro.arch import (
     record_trace,
 )
 from repro.api import (
+    PolicySpec,
     RunSpec,
     SweepSpec,
     compare,
@@ -115,6 +116,7 @@ from repro.api import (
     vertex_program,
 )
 from repro.runtime import (
+    AdaptiveOffloadPolicy,
     AlwaysOffload,
     DynamicCostPolicy,
     NeverOffload,
@@ -151,6 +153,7 @@ def __getattr__(name: str):
 __all__ = [
     "__version__",
     # facade
+    "PolicySpec",
     "RunSpec",
     "SweepSpec",
     "run",
@@ -230,6 +233,7 @@ __all__ = [
     "vertex_program",
     # runtime
     "SystemConfig",
+    "AdaptiveOffloadPolicy",
     "AlwaysOffload",
     "NeverOffload",
     "ThresholdPolicy",

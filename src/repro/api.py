@@ -67,8 +67,9 @@ numerics::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields, replace
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,6 +84,7 @@ from repro.kernels.base import (
 )
 
 __all__ = [
+    "PolicySpec",
     "RunSpec",
     "SweepSpec",
     "run",
@@ -100,8 +102,160 @@ __all__ = [
 ]
 
 # --------------------------------------------------------------------------- #
-# Facade: RunSpec + one-call workflows
+# Facade: PolicySpec + RunSpec + one-call workflows
 # --------------------------------------------------------------------------- #
+
+
+def _coerce_policy_param(text: str) -> Any:
+    """CLI scalar coercion for ``key=value`` policy parameters."""
+    low = text.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Typed, hashable offload-policy selection: a name plus parameters.
+
+    Replaces the bare-string ``RunSpec.policy``: ``threshold(0.1)`` and
+    ``threshold(0.3)`` are different workloads, so the policy must carry
+    its parameters into :meth:`RunSpec.digest` for coalescing and caching
+    to distinguish them.  ``params`` is normalized in construction to a
+    key-sorted tuple of ``(key, value)`` pairs, so a spec built from a
+    dict, a list of pairs (the JSON round-trip form), or keyword order
+    variations hashes and digests identically::
+
+        PolicySpec("threshold", {"min_avg_degree": 2.0})
+        PolicySpec("adaptive")
+        PolicySpec.parse("threshold:min_avg_degree=2")   # the CLI spelling
+
+    Unknown policy names raise :class:`ConfigError` with a did-you-mean
+    hint at construction time, not at run time.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        from repro.runtime.offload import check_policy_name
+
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigError(
+                f"policy name must be a non-empty string, got {self.name!r}"
+            )
+        check_policy_name(self.name)
+        raw = self.params
+        if raw is None:
+            items = []
+        elif isinstance(raw, Mapping):
+            items = list(raw.items())
+        else:
+            try:
+                items = [(key, value) for key, value in raw]
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"policy {self.name!r}: params must be a mapping or an "
+                    f"iterable of (key, value) pairs, got {raw!r}"
+                ) from None
+        seen = set()
+        norm = []
+        for key, value in items:
+            if not isinstance(key, str) or not key:
+                raise ConfigError(
+                    f"policy {self.name!r}: parameter names must be "
+                    f"non-empty strings, got {key!r}"
+                )
+            if key in seen:
+                raise ConfigError(
+                    f"policy {self.name!r}: duplicate parameter {key!r}"
+                )
+            seen.add(key)
+            if value is not None and not isinstance(value, (bool, int, float, str)):
+                raise ConfigError(
+                    f"policy {self.name!r}: parameter {key!r} must be a "
+                    f"scalar, got {type(value).__name__}"
+                )
+            norm.append((key, value))
+        object.__setattr__(
+            self, "params", tuple(sorted(norm, key=lambda kv: kv[0]))
+        )
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        """The parameters as constructor keyword arguments."""
+        return dict(self.params)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Canonical JSON form (used by digests and wire payloads)."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    def instantiate(self):
+        """Build the :class:`~repro.runtime.offload.OffloadPolicy`."""
+        from repro.runtime.offload import get_policy
+
+        return get_policy(self.name, **self.kwargs)
+
+    def spell(self) -> str:
+        """The CLI spelling: ``name`` or ``name:key=val,key=val``."""
+        if not self.params:
+            return self.name
+        rendered = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}:{rendered}"
+
+    @classmethod
+    def parse(cls, value: Any) -> "PolicySpec":
+        """Coerce a spec, mapping, or string (CLI syntax) to a PolicySpec.
+
+        Strings use the shared CLI grammar ``name[:key=val,key=val]`` with
+        int/float/bool coercion; mappings use the :meth:`to_json` shape.
+        """
+        if isinstance(value, PolicySpec):
+            return value
+        if isinstance(value, Mapping):
+            unknown = set(value) - {"name", "params"}
+            if unknown:
+                raise ConfigError(
+                    f"unknown policy field(s) {sorted(unknown)}; "
+                    "expected {'name', 'params'}"
+                )
+            if "name" not in value:
+                raise ConfigError("policy mapping needs a 'name' field")
+            return cls(name=value["name"], params=value.get("params") or ())
+        if isinstance(value, str):
+            name, _, rest = value.partition(":")
+            params: Dict[str, Any] = {}
+            for item in rest.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, sep, raw = item.partition("=")
+                if not sep or not key.strip():
+                    raise ConfigError(
+                        f"malformed policy parameter {item!r} in {value!r} "
+                        "(expected name:key=val,key=val)"
+                    )
+                params[key.strip()] = _coerce_policy_param(raw.strip())
+            return cls(name=name.strip(), params=params)
+        raise ConfigError(
+            f"policy must be a PolicySpec, mapping, or string, "
+            f"got {type(value).__name__}"
+        )
+
+
+#: One-shot flag for the bare-string ``RunSpec.policy`` deprecation,
+#: mirroring the ``compare_architectures`` shim in ``repro/__init__``.
+_warned_string_policy = False
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -121,7 +275,11 @@ class RunSpec:
     scale_shift: int = 0
     partitions: int = 8
     partitioner: Optional[str] = None
-    policy: Optional[str] = None
+    #: offload-policy selection (NDP-capable architectures).  A
+    #: :class:`PolicySpec`; plain strings and ``{"name": ..., "params":
+    #: ...}`` mappings are converted for back compatibility (strings with
+    #: a one-shot DeprecationWarning).
+    policy: Optional[PolicySpec] = None
     source: Optional[int] = None
     max_iterations: Optional[int] = None
     memory_budget_bytes: Optional[int] = None
@@ -133,6 +291,19 @@ class RunSpec:
     backend: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.policy is not None and not isinstance(self.policy, PolicySpec):
+            if isinstance(self.policy, str):
+                global _warned_string_policy
+                if not _warned_string_policy:
+                    _warned_string_policy = True
+                    warnings.warn(
+                        "RunSpec(policy=<str>) is deprecated; pass a "
+                        "repro.PolicySpec (e.g. PolicySpec('threshold', "
+                        "{'min_avg_degree': 2.0}))",
+                        DeprecationWarning,
+                        stacklevel=3,
+                    )
+            object.__setattr__(self, "policy", PolicySpec.parse(self.policy))
         if self.partitions < 1:
             raise ConfigError(f"partitions must be >= 1, got {self.partitions}")
         if self.replication_factor < 1:
@@ -162,6 +333,8 @@ class RunSpec:
         from repro.cache.keys import canonical_key
 
         payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        if self.policy is not None:
+            payload["policy"] = self.policy.to_json()
         return canonical_key("runspec", payload)
 
 
@@ -264,7 +437,6 @@ def _run_resolved(
     """
     from repro.arch.registry import get_architecture
     from repro.runtime.config import SystemConfig
-    from repro.runtime.offload import get_policy
 
     graph, graph_name, kernel, chooser, source = _spec_workload(
         spec, graph=graph, graph_name=graph_name
@@ -276,7 +448,13 @@ def _run_resolved(
     )
     kwargs: Dict[str, Any] = {}
     if spec.policy is not None:
-        kwargs["policy"] = get_policy(spec.policy)
+        if spec.architecture != "disaggregated-ndp":
+            raise ConfigError(
+                f"architecture {spec.architecture!r} has no offload choice "
+                f"to apply policy {spec.policy.spell()!r} to; policies "
+                "apply to 'disaggregated-ndp'"
+            )
+        kwargs["policy"] = spec.policy.instantiate()
     simulator = get_architecture(spec.architecture, config, **kwargs)
     return simulator.run(
         graph,
@@ -295,8 +473,12 @@ def compare(spec: Optional[RunSpec] = None, **overrides: Any):
 
     Returns an ``ArchitectureComparison``; the workload executes once and
     is replayed through every simulator's accounting pass.  The spec's
-    ``architecture`` and ``policy`` fields are ignored — a comparison
-    always covers all four deployments.
+    ``architecture`` field is ignored — a comparison always covers all
+    four deployments.  ``policy`` applies to the one deployment with a
+    per-iteration placement choice, disaggregated-NDP (the other three
+    are fixed by definition: distributed architectures never offload
+    remotely and the passive pool cannot), so the comparison shows the
+    chosen policy against the static baselines.
     """
     spec = _resolve_spec(spec, overrides)
     return _compare_resolved(spec)
@@ -330,6 +512,7 @@ def _compare_resolved(
         graph_name=graph_name,
         seed=spec.seed,
         faults=_spec_faults(spec),
+        policy=spec.policy.instantiate() if spec.policy is not None else None,
     )
 
 

@@ -130,6 +130,7 @@ def compare_architectures(
     shared_trace: bool = True,
     faults: FaultsLike = None,
     checkpoint: Optional[CheckpointPolicy] = None,
+    policy=None,
 ) -> ArchitectureComparison:
     """Run all four architectures on one workload and label the rows.
 
@@ -147,14 +148,19 @@ def compare_architectures(
     architecture's accounting pass (numerics are unaffected), so the rows
     additionally carry each deployment's recovery bill; ``checkpoint``
     adds a checkpoint policy's steady-state movement on top.
+    ``policy`` is an :class:`~repro.runtime.offload.OffloadPolicy` applied
+    to the deployment with a per-iteration placement choice
+    (disaggregated-NDP); the other three rows have their placement fixed
+    by definition, so the comparison reads as policy-vs-static-baselines.
     """
     cfg = config or SystemConfig()
     ndp_cfg = cfg if cfg.enable_inc else cfg.with_options(enable_inc=True)
+    ndp_kwargs = {} if policy is None else {"policy": policy}
     simulators = [
         DistributedSimulator(cfg),
         DistributedNDPSimulator(cfg),
         DisaggregatedSimulator(cfg),
-        DisaggregatedNDPSimulator(ndp_cfg),
+        DisaggregatedNDPSimulator(ndp_cfg, **ndp_kwargs),
     ]
     trace = None
     if shared_trace:

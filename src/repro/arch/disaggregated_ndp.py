@@ -53,8 +53,18 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
                 "disaggregated-ndp requires an ndp_device on the memory pool"
             )
         self.policy = policy or AlwaysOffload()
+        #: the most recent iteration's decision record — mode, executed
+        #: mask, denials, plus the policy's own explanation when it offers
+        #: one; attached to the iteration span by _annotate_iteration_span.
+        self._last_decision: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
+
+    def _annotate_iteration_span(self, span, stats: IterationStats) -> None:
+        super()._annotate_iteration_span(span, stats)
+        record = self._last_decision
+        if record is not None and record.get("iteration") == stats.iteration:
+            span.set_attrs(policy=self.policy.name, decision=dict(record))
 
     def _account(self, profile: IterationProfile, ctx: RunContext) -> IterationStats:
         ctx_switch = ctx.topology.switch
@@ -72,8 +82,11 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
             mask = np.full(ctx.assignment.num_parts, offload)
         else:
             mask = np.asarray(mask, dtype=bool)
+        denied_capability = 0
+        denied_fault = 0
         if mask.any() and not capability.allowed:
             ctx.result.counters.add(M.OFFLOAD_DENIED_CAPABILITY)
+            denied_capability = int(mask.sum())
             mask = np.zeros_like(mask)
         if ctx.faults is not None:
             # Graceful degradation: shards whose NDP device is down fall
@@ -83,6 +96,7 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
             denied = mask & down
             if denied.any():
                 ctx.result.counters.add(M.OFFLOAD_DENIED_FAULT, int(denied.sum()))
+                denied_fault = int(denied.sum())
                 mask = mask & ~down
 
         # Feed the realized counts back to adaptive policies (a real runtime
@@ -94,12 +108,50 @@ class DisaggregatedNDPSimulator(DisaggregatedSimulator):
         )
         if not mask.any():
             ctx.result.counters.add(M.ITERATIONS_FETCH)
-            return self._account_fetch(profile, ctx, offloaded=False)
-        if mask.all():
+            mode = "fetch"
+            stats = self._account_fetch(profile, ctx, offloaded=False)
+        elif mask.all():
             ctx.result.counters.add(M.ITERATIONS_OFFLOAD)
-            return self._account_offload(profile, ctx, inc_enabled=inc_enabled)
-        ctx.result.counters.add(M.ITERATIONS_MIXED)
-        return self._account_mixed(profile, ctx, mask, inc_enabled=inc_enabled)
+            mode = "offload"
+            stats = self._account_offload(profile, ctx, inc_enabled=inc_enabled)
+        else:
+            ctx.result.counters.add(M.ITERATIONS_MIXED)
+            mode = "mixed"
+            stats = self._account_mixed(profile, ctx, mask, inc_enabled=inc_enabled)
+
+        # Byte-level feedback: hand the policy the exact ledger bytes this
+        # iteration moved, against the mask that actually executed (post
+        # capability/fault denials).
+        updated = self.policy.observe_bytes(
+            outlook,
+            host_link_bytes=float(stats.host_link_bytes),
+            network_bytes=float(stats.network_bytes),
+            offloaded_mask=mask,
+        )
+        if updated:
+            ctx.result.counters.add(M.POLICY_CALIBRATION_UPDATES)
+
+        decision = {
+            "iteration": profile.iteration,
+            "mode": mode,
+            "offloaded_parts": int(mask.sum()),
+            "num_parts": int(ctx.assignment.num_parts),
+            "denied_capability": denied_capability,
+            "denied_fault": denied_fault,
+        }
+        explanation = self.policy.last_decision
+        if explanation is not None and explanation.get("iteration") == profile.iteration:
+            decision.update(explanation)
+        prev = self._last_decision
+        if (
+            prev is not None
+            and prev.get("mode") != mode
+            and prev.get("iteration") == profile.iteration - 1
+        ):
+            ctx.result.counters.add(M.POLICY_DECISION_FLIPS)
+            decision["flipped"] = True
+        self._last_decision = decision
+        return stats
 
     # ------------------------------------------------------------------ #
 

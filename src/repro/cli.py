@@ -29,6 +29,7 @@ from repro.cli_common import (
     add_jobs_arg,
     add_memory_budget_alias,
     add_observability_args,
+    add_policy_arg,
 )
 from repro.obs import tracing_session
 from repro.arch.registry import get_architecture, list_architectures
@@ -44,7 +45,7 @@ from repro.graph.datasets import list_datasets
 from repro.kernels.registry import get_kernel, list_kernels
 from repro.partition.registry import get_partitioner, list_partitioners
 from repro.runtime.config import SystemConfig
-from repro.runtime.offload import get_policy, list_policies
+from repro.runtime.offload import get_policy
 from repro.telemetry.report import movement_table
 from repro.trace import trace_run, write_trace_csv, write_trace_jsonl
 from repro.utils.units import format_bytes, parse_bytes
@@ -92,12 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--partitioner", default="hash", choices=list_partitioners()
     )
-    parser.add_argument(
-        "--policy",
-        default="always",
-        choices=list_policies(),
-        help="offload policy (disaggregated-ndp only)",
-    )
+    add_policy_arg(parser)
     parser.add_argument("--inc", action="store_true", help="enable in-network aggregation")
     parser.add_argument(
         "--memory-budget",
@@ -221,6 +217,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with tracing_session(
             trace_out=args.trace_out,
             jsonl_out=args.trace_events,
+            decision_out=args.decision_trace,
             progress=args.progress,
         ):
             code = _run(args)
@@ -315,6 +312,9 @@ def _run(args: argparse.Namespace) -> int:
             shared_trace=not args.independent_compare,
             faults=faults,
             checkpoint=checkpoint,
+            policy=(
+                args.policy.instantiate() if args.policy is not None else None
+            ),
         )
         print(comparison.as_table())
         if faults is not None or checkpoint is not None:
@@ -333,9 +333,19 @@ def _run(args: argparse.Namespace) -> int:
         return 0
 
     if args.arch == "disaggregated-ndp":
-        simulator = get_architecture(
-            args.arch, config, policy=get_policy(args.policy)
+        policy = (
+            args.policy.instantiate()
+            if args.policy is not None
+            else get_policy("always")
         )
+        simulator = get_architecture(args.arch, config, policy=policy)
+    elif args.policy is not None:
+        print(
+            f"error: --policy applies to disaggregated-ndp, not "
+            f"{args.arch!r} (its placement is fixed by definition)",
+            file=sys.stderr,
+        )
+        return 2
     else:
         simulator = get_architecture(args.arch, config)
 

@@ -31,7 +31,8 @@ def deprecated_alias(new_flag: str) -> type:
 
 
 def add_observability_args(parser: argparse.ArgumentParser) -> None:
-    """``--trace-out`` / ``--trace-events`` / ``--progress`` for both CLIs."""
+    """``--trace-out`` / ``--trace-events`` / ``--decision-trace`` /
+    ``--progress`` for the CLIs."""
     parser.add_argument(
         "--trace-out",
         default=None,
@@ -46,9 +47,45 @@ def add_observability_args(parser: argparse.ArgumentParser) -> None:
         help="stream finished spans to FILE as JSONL, one object per span",
     )
     parser.add_argument(
+        "--decision-trace",
+        default=None,
+        metavar="FILE",
+        help="stream per-iteration offload decision records to FILE as "
+        "JSONL (disaggregated-ndp iterations only)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print live per-iteration progress to stderr",
+    )
+
+
+def parse_policy_spec(text: str):
+    """argparse ``type=`` hook for ``--policy name:key=val,key=val``.
+
+    Delegates to :meth:`repro.api.PolicySpec.parse` (the one grammar shared
+    with serve request bodies) and converts :class:`ConfigError` — unknown
+    name with did-you-mean, malformed params — into the
+    ``ArgumentTypeError`` argparse expects.
+    """
+    from repro.api import PolicySpec
+    from repro.errors import ConfigError
+
+    try:
+        return PolicySpec.parse(text)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def add_policy_arg(parser: argparse.ArgumentParser, *, default=None) -> None:
+    """Shared ``--policy name:key=val,key=val`` flag (typed PolicySpec)."""
+    parser.add_argument(
+        "--policy",
+        type=parse_policy_spec,
+        default=default,
+        metavar="NAME[:K=V,...]",
+        help="offload policy for disaggregated-ndp, e.g. 'adaptive', "
+        "'threshold:min_avg_degree=2.0' (see repro.runtime.offload)",
     )
 
 

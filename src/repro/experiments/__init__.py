@@ -14,6 +14,7 @@ from repro.experiments import (
     fig5,
     fig6,
     fig7,
+    offload,
     sweep,
     table1,
     table2,
@@ -26,6 +27,7 @@ ALL_EXPERIMENTS = {
     "fig5": fig5.run,
     "fig6": fig6.run,
     "fig7": fig7.run,
+    "offload": offload.run,
     "sweep": sweep.run,
     "faults": faults.run,
     "ablation-dynamic": ablations.run_dynamic_policy,

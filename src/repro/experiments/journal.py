@@ -60,19 +60,26 @@ _DURABLE_TYPES = frozenset({"header", "outcome", "interrupt", "end"})
 
 
 def task_to_json(task: Any) -> Dict[str, Any]:
-    """Serialize a ``SweepTask`` (plus nested ``FaultSpec``) to plain JSON."""
+    """Serialize a ``SweepTask`` (plus nested ``FaultSpec``/``PolicySpec``)
+    to plain JSON."""
     record = asdict(task)
+    if record.get("policy") is None:
+        # Absent when unset so pre-policy task digests stay stable.
+        record.pop("policy", None)
     return record
 
 
 def task_from_json(record: Mapping[str, Any]) -> Any:
     """Reconstruct a ``SweepTask`` serialized by :func:`task_to_json`."""
+    from repro.api import PolicySpec
     from repro.experiments.sweep import SweepTask
     from repro.faults.schedule import FaultSpec
 
     data = dict(record)
     if data.get("fault_spec") is not None:
         data["fault_spec"] = FaultSpec(**data["fault_spec"])
+    if data.get("policy") is not None:
+        data["policy"] = PolicySpec(**data["policy"])
     return SweepTask(**data)
 
 

@@ -25,6 +25,7 @@ from repro.cli_common import (
     add_jobs_arg,
     add_memory_budget_alias,
     add_observability_args,
+    add_policy_arg,
 )
 from repro.errors import ExperimentError
 from repro.experiments import ALL_EXPERIMENTS
@@ -69,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_arg(run_p)
     add_memory_budget_alias(run_p)
     add_observability_args(run_p)
+    add_policy_arg(run_p)
     run_p.add_argument(
         "--timeout",
         type=float,
@@ -241,6 +243,7 @@ def run_experiment(
     chaos_spec=None,
     scheduler=None,
     dry_run: bool = False,
+    policy=None,
 ) -> str:
     """Run one experiment and return its rendered report."""
     try:
@@ -250,6 +253,12 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; available: "
             f"{', '.join(sorted(ALL_EXPERIMENTS))}"
         ) from None
+    if policy is not None and experiment_id != "sweep":
+        raise ExperimentError(
+            f"--policy applies to the 'sweep' experiment (it overrides the "
+            f"disaggregated-NDP offload policy per task); {experiment_id!r} "
+            "fixes its own policies"
+        )
     if experiment_id == "table1":
         result = fn()  # type: ignore[call-arg]
     elif experiment_id == "sweep":
@@ -270,6 +279,7 @@ def run_experiment(
             chaos_spec=chaos_spec,
             scheduler=scheduler,
             dry_run=dry_run,
+            policy=policy,
         )
     elif experiment_id == "faults":
         result = fn(  # type: ignore[call-arg]
@@ -371,6 +381,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     with tracing_session(
         trace_out=args.trace_out,
         jsonl_out=args.trace_events,
+        decision_out=args.decision_trace,
         progress=args.progress,
     ):
         for target in targets:
@@ -394,6 +405,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     chaos_spec=chaos_spec,
                     scheduler=scheduler,
                     dry_run=args.dry_run,
+                    policy=args.policy,
                 )
             except ExperimentError as exc:
                 print(f"error: {exc}", file=sys.stderr)

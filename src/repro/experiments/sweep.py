@@ -36,7 +36,20 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from multiprocessing import get_context
 from multiprocessing import shared_memory
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover — annotation only, avoids an import cycle
+    from repro.api import PolicySpec
 
 import numpy as np
 
@@ -224,10 +237,16 @@ class SweepTask:
     #: execution backend for the engine hot loops ("auto" picks numba when
     #: installed; results are bit-identical across backends)
     backend: str = "auto"
+    #: optional offload policy for the disaggregated-NDP replay
+    #: (:class:`repro.api.PolicySpec`; default keeps AlwaysOffload)
+    policy: Optional["PolicySpec"] = None
 
     @property
     def label(self) -> str:
-        return f"{self.kernel}/{self.dataset}/p{self.partitions}"
+        base = f"{self.kernel}/{self.dataset}/p{self.partitions}"
+        if self.policy is not None:
+            base += f"/{self.policy.spell()}"
+        return base
 
     @property
     def graph_key(self) -> Tuple[str, str, int]:
@@ -341,7 +360,12 @@ def _task_body(task: SweepTask, graph: CSRGraph, graph_name: str) -> SweepOutcom
     )
     fetch = DisaggregatedSimulator(config).replay(trace, faults=faults)
     ndp_cfg = config if config.enable_inc else config.with_options(enable_inc=True)
-    offload = DisaggregatedNDPSimulator(ndp_cfg).replay(trace, faults=faults)
+    ndp_kwargs = (
+        {} if task.policy is None else {"policy": task.policy.instantiate()}
+    )
+    offload = DisaggregatedNDPSimulator(ndp_cfg, **ndp_kwargs).replay(
+        trace, faults=faults
+    )
     digest = hashlib.sha256(
         np.ascontiguousarray(fetch.result_property()).tobytes()
     ).hexdigest()
@@ -1179,6 +1203,7 @@ def run(
     chaos_spec: Optional[ChaosSpec] = None,
     scheduler: Optional[SweepScheduler] = None,
     dry_run: bool = False,
+    policy: Optional["PolicySpec"] = None,
 ) -> ExperimentResult:
     """Sweep experiment entry point (``repro-experiments sweep``).
 
@@ -1207,6 +1232,9 @@ def run(
     diffing two dry runs explains any "different sweep" refusal.
     """
     chosen = list(tasks) if tasks is not None else fig7_sweep_tasks(tier=tier, seed=seed)
+    if policy is not None:
+        # --policy overrides the disaggregated-NDP offload policy per task.
+        chosen = [replace(task, policy=policy) for task in chosen]
     if memory_budget_bytes is not None:
         chosen = [
             replace(task, memory_budget_bytes=memory_budget_bytes)

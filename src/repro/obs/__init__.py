@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from typing import IO, Iterator, Optional
 
 from repro.obs.exporters import (
+    DecisionTraceExporter,
     JsonlStreamExporter,
     ProgressReporter,
     chrome_trace_dict,
@@ -55,6 +56,7 @@ __all__ = [
     "CHROME_TRACE_SCHEMA",
     "Counter",
     "CounterSet",
+    "DecisionTraceExporter",
     "Gauge",
     "Histogram",
     "JsonlStreamExporter",
@@ -85,6 +87,7 @@ def tracing_session(
     *,
     trace_out: Optional[str] = None,
     jsonl_out: Optional[str] = None,
+    decision_out: Optional[str] = None,
     progress: bool = False,
     progress_stream: Optional[IO[str]] = None,
 ) -> Iterator[object]:
@@ -95,9 +98,10 @@ def tracing_session(
     zero-overhead path.  Otherwise a fresh :class:`Tracer` becomes the
     process-global active tracer for the duration of the block; on exit
     the Chrome trace / JSONL files are written and the previous tracer
-    is restored.
+    is restored.  ``decision_out`` streams per-iteration offload decision
+    records (``--decision-trace``) as JSONL.
     """
-    if not (trace_out or jsonl_out or progress):
+    if not (trace_out or jsonl_out or decision_out or progress):
         yield get_tracer()
         return
     tracer = Tracer()
@@ -106,11 +110,16 @@ def tracing_session(
     stream = JsonlStreamExporter(jsonl_out) if jsonl_out else None
     if stream is not None:
         tracer.add_listener(stream)
+    decisions = DecisionTraceExporter(decision_out) if decision_out else None
+    if decisions is not None:
+        tracer.add_listener(decisions)
     try:
         with use_tracer(tracer):
             yield tracer
     finally:
         if stream is not None:
             stream.close()
+        if decisions is not None:
+            decisions.close()
         if trace_out:
             write_chrome_trace(tracer.spans, trace_out)

@@ -71,6 +71,70 @@ class JsonlStreamExporter:
 
 
 # --------------------------------------------------------------------------- #
+# Decision trace (--decision-trace)
+# --------------------------------------------------------------------------- #
+
+class DecisionTraceExporter:
+    """Span-end listener streaming per-iteration offload decisions as JSONL.
+
+    Filters for iteration spans carrying a ``decision`` attribute (the
+    disaggregated-NDP simulator attaches one per iteration) and writes one
+    line per decision: the policy's explanation merged with the iteration's
+    byte facts, so the trace is self-contained — the ``host_link_bytes`` /
+    ``network_bytes`` columns are the very span attributes whose per-run
+    sums equal the movement-ledger totals.
+
+    Attach with ``tracer.add_listener(exporter)``; call :meth:`close` (or
+    use as a context manager) to flush.  :attr:`count` is the number of
+    decisions written.
+    """
+
+    #: span attributes copied alongside the decision record
+    BYTE_ATTRS = (
+        "architecture",
+        "policy",
+        "frontier_size",
+        "edges",
+        "offloaded",
+        "host_link_bytes",
+        "network_bytes",
+        "recovery_bytes",
+        "modeled_seconds",
+    )
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.count = 0
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def __call__(self, span: Span) -> None:
+        if self._fh is None or span.category != CATEGORY_ITERATION:
+            return
+        decision = span.attrs.get("decision")
+        if decision is None:
+            return
+        row: Dict[str, Any] = dict(decision)
+        for key in self.BYTE_ATTRS:
+            if key in span.attrs and key not in row:
+                row[key] = span.attrs[key]
+        row.setdefault("iteration", span.attrs.get("iteration"))
+        self._fh.write(json.dumps(row, sort_keys=True) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "DecisionTraceExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# --------------------------------------------------------------------------- #
 # Chrome trace (chrome://tracing / Perfetto "Open trace file")
 # --------------------------------------------------------------------------- #
 

@@ -306,6 +306,14 @@ class M:
     ITERATIONS_MIXED = METRICS.declare(
         "iterations-mixed", description="iterations with mixed offload"
     )
+    POLICY_CALIBRATION_UPDATES = METRICS.declare(
+        "policy-calibration-updates",
+        description="byte-feedback belief updates applied by the offload policy",
+    )
+    POLICY_DECISION_FLIPS = METRICS.declare(
+        "policy-decision-flips",
+        description="consecutive iterations whose placement mode changed",
+    )
     INC_MERGED_UPDATES = METRICS.declare(
         "inc-merged-updates",
         description="updates combined by in-network aggregation",

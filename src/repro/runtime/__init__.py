@@ -4,6 +4,7 @@ provisioning (Section IV)."""
 
 from repro.runtime.config import SystemConfig
 from repro.runtime.offload import (
+    AdaptiveOffloadPolicy,
     AlwaysOffload,
     DynamicCostPolicy,
     IterationOutlook,
@@ -12,6 +13,7 @@ from repro.runtime.offload import (
     OraclePolicy,
     PerPartCostPolicy,
     ThresholdPolicy,
+    check_policy_name,
     get_policy,
     list_policies,
 )
@@ -32,6 +34,7 @@ from repro.runtime.provision import (
 __all__ = [
     "SystemConfig",
     "OffloadPolicy",
+    "AdaptiveOffloadPolicy",
     "AlwaysOffload",
     "NeverOffload",
     "ThresholdPolicy",
@@ -39,6 +42,7 @@ __all__ = [
     "OraclePolicy",
     "PerPartCostPolicy",
     "IterationOutlook",
+    "check_policy_name",
     "get_policy",
     "list_policies",
     "MovementEstimate",

@@ -12,8 +12,9 @@ idealized oracle, the exact counts the simulator knows.
 from __future__ import annotations
 
 import abc
+import difflib
 from dataclasses import dataclass
-from typing import Dict, Optional, Type
+from typing import Any, Dict, Optional, Type
 
 import numpy as np
 
@@ -63,6 +64,10 @@ class OffloadPolicy(abc.ABC):
     name: str = "abstract"
     #: whether the policy needs the simulator to fill the exact_* fields
     requires_oracle: bool = False
+    #: the policy's explanation of its most recent decision (a plain dict,
+    #: or ``None`` for policies that do not explain themselves).  The
+    #: simulator merges it into the iteration span's ``decision`` attrs.
+    last_decision: Optional[Dict[str, Any]] = None
 
     @abc.abstractmethod
     def decide(
@@ -105,6 +110,26 @@ class OffloadPolicy(abc.ABC):
         decision, so adaptive policies can calibrate their estimators
         against reality (no-op by default).
         """
+
+    def observe_bytes(
+        self,
+        outlook: IterationOutlook,
+        *,
+        host_link_bytes: float,
+        network_bytes: float = 0.0,
+        offloaded_mask: Optional[np.ndarray] = None,
+    ) -> bool:
+        """Byte-level feedback: the exact ledger bytes the iteration moved.
+
+        Unlike :meth:`observe` (realized *counts*), this closes the loop at
+        the byte level — the quantity the policy actually predicted.  The
+        simulator calls it after accounting each iteration with the ledger's
+        host-link/network bytes and the offload mask it *executed* (which
+        may differ from the policy's request after capability or fault
+        denials).  Returns True when the policy updated calibration state;
+        no-op returning False by default.
+        """
+        return False
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -291,7 +316,7 @@ class PerPartCostPolicy(DynamicCostPolicy):
         from repro.runtime.cost_model import (
             VERTEX_ID_BYTES,
             edge_record_bytes,
-            estimate_distinct_destinations,
+            estimate_distinct_destinations_per_part,
         )
 
         edges = np.asarray(outlook.edges_per_part, dtype=np.float64)
@@ -299,11 +324,8 @@ class PerPartCostPolicy(DynamicCostPolicy):
         if self.oracle and outlook.exact_partials_per_part is not None:
             pairs = np.asarray(outlook.exact_partials_per_part, dtype=np.float64)
         else:
-            pairs = np.asarray(
-                [
-                    estimate_distinct_destinations(e, outlook.num_vertices)
-                    for e in edges
-                ]
+            pairs = estimate_distinct_destinations_per_part(
+                edges, outlook.num_vertices
             )
             pairs = pairs * self._pairs_correction
         push_per_vertex = (
@@ -320,6 +342,212 @@ class PerPartCostPolicy(DynamicCostPolicy):
         )
 
 
+class AdaptiveOffloadPolicy(DynamicCostPolicy):
+    """Closed-loop controller: per-part placement with byte-level feedback.
+
+    This is the policy the paper's Section IV conclusion asks for.  At each
+    iteration boundary it chooses, per memory node, whether traversal runs
+    near-data or on the hosts, from three live feature groups:
+
+    * frontier structure — per-part frontier and edge mass from the
+      :class:`IterationOutlook` (what a real runtime computes cheaply);
+    * the realized update *counts* of completed iterations, folded into the
+      occupancy estimate exactly like :class:`DynamicCostPolicy`;
+    * the exact movement-ledger *bytes* of completed iterations, fed back
+      through :meth:`observe_bytes` — predict, observe, reweight.  The
+      multiplicative ``byte_correction`` absorbs everything the analytic
+      per-part model cannot see (in-network aggregation merging partials,
+      push-size misestimates), so the controller converges onto the true
+      byte cost of the placement it actually ran.
+
+    Per-part failure masks are honored proactively: a part whose NDP device
+    is down is planned as a fetch instead of being denied after the fact,
+    so the prediction the calibration loop checks is the plan that executed.
+
+    Every decision leaves a :attr:`last_decision` record (features,
+    predicted bytes per side, correction state) that the disaggregated-NDP
+    simulator attaches to the iteration span — the decision trace.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, *, calibrate: bool = True, ema_alpha: float = 0.5) -> None:
+        super().__init__(calibrate=calibrate, ema_alpha=ema_alpha)
+        self._byte_correction = 1.0
+        self._pending: Optional[Dict[str, Any]] = None
+
+    def decide(self, kernel, outlook, *, switch=None, inc_enabled=False) -> bool:
+        # Global fallback (no per-part structure available): the dynamic
+        # cost comparison with the byte correction on the offload side.
+        est = estimate_movement(
+            kernel,
+            frontier_size=outlook.frontier_size,
+            edges_traversed=outlook.edges_traversed,
+            num_vertices=outlook.num_vertices,
+            num_parts=outlook.num_parts,
+            edges_per_part=outlook.edges_per_part,
+        )
+        from repro.runtime.cost_model import frontier_push_bytes
+
+        wire = kernel.message.wire_bytes
+        push = frontier_push_bytes(
+            kernel,
+            outlook.frontier_size,
+            num_vertices=outlook.num_vertices,
+            num_parts=outlook.num_parts,
+        )
+        raw_pairs = (est.offload_bytes - push) / wire if wire else 0.0
+        raw_distinct = (est.offload_inc_bytes - push) / wire if wire else 0.0
+        offload = push + wire * raw_pairs * self._pairs_correction
+        offload_inc = push + wire * raw_distinct * self._distinct_correction
+        offload_cost = (offload_inc if inc_enabled else offload)
+        offload_cost *= self._byte_correction
+        offloads = bool(offload_cost < est.fetch_bytes)
+        self._pending = {
+            "iteration": outlook.iteration,
+            "offload_cost": np.asarray([offload_cost], dtype=np.float64),
+            "fetch_cost": np.asarray([est.fetch_bytes], dtype=np.float64),
+        }
+        self.last_decision = {
+            "policy": self.name,
+            "iteration": outlook.iteration,
+            "frontier_size": outlook.frontier_size,
+            "edges_traversed": outlook.edges_traversed,
+            "avg_frontier_degree": outlook.avg_frontier_degree,
+            "predicted_fetch_bytes": float(est.fetch_bytes),
+            "predicted_offload_bytes": float(offload_cost),
+            "pairs_correction": self._pairs_correction,
+            "distinct_correction": self._distinct_correction,
+            "byte_correction": self._byte_correction,
+            "planned_offload_parts": outlook.num_parts if offloads else 0,
+        }
+        return offloads
+
+    def decide_per_part(
+        self, kernel, outlook, *, switch=None, inc_enabled=False
+    ) -> Optional[np.ndarray]:
+        if outlook.edges_per_part is None or outlook.frontier_per_part is None:
+            self._pending = None
+            return None  # fall back to the global decision
+        from repro.runtime.cost_model import (
+            VERTEX_ID_BYTES,
+            edge_record_bytes,
+            estimate_distinct_destinations,
+            estimate_distinct_destinations_per_part,
+        )
+
+        edges = np.asarray(outlook.edges_per_part, dtype=np.float64)
+        frontier = np.asarray(outlook.frontier_per_part, dtype=np.float64)
+        pairs = estimate_distinct_destinations_per_part(
+            edges, outlook.num_vertices
+        )
+        pairs = pairs * self._pairs_correction
+        push_per_vertex = (
+            kernel.prop_push_bytes if kernel.pushes_values else VERTEX_ID_BYTES
+        )
+        # In-network aggregation merges partials across memory nodes: the
+        # host-link apply traffic collapses from one update per (dest, part)
+        # pair to roughly one per distinct destination.  Scale each part's
+        # update bytes by that merge ratio so the estimate prices the path
+        # the bytes will actually take.
+        merge = 1.0
+        if inc_enabled and switch is not None:
+            est_pairs = float(pairs.sum())
+            est_distinct = (
+                estimate_distinct_destinations(
+                    float(edges.sum()), outlook.num_vertices
+                )
+                * self._distinct_correction
+            )
+            if est_pairs > 0.0:
+                merge = min(est_distinct / est_pairs, 1.0)
+        offload_cost = (
+            push_per_vertex * frontier + kernel.message.wire_bytes * pairs * merge
+        ) * self._byte_correction
+        fetch_cost = VERTEX_ID_BYTES * frontier + edge_record_bytes(kernel) * edges
+        mask = offload_cost < fetch_cost
+        if outlook.failed_parts is not None:
+            mask = mask & ~np.asarray(outlook.failed_parts, dtype=bool)
+        self._pending = {
+            "iteration": outlook.iteration,
+            "offload_cost": offload_cost,
+            "fetch_cost": fetch_cost,
+        }
+        planned = int(np.count_nonzero(mask))
+        predicted = float(
+            np.where(mask, offload_cost, fetch_cost).sum()
+        )
+        self.last_decision = {
+            "policy": self.name,
+            "iteration": outlook.iteration,
+            "frontier_size": outlook.frontier_size,
+            "edges_traversed": outlook.edges_traversed,
+            "avg_frontier_degree": outlook.avg_frontier_degree,
+            "predicted_fetch_bytes": float(fetch_cost.sum()),
+            "predicted_offload_bytes": float(offload_cost.sum()),
+            "predicted_plan_bytes": predicted,
+            "pairs_correction": self._pairs_correction,
+            "distinct_correction": self._distinct_correction,
+            "byte_correction": self._byte_correction,
+            "planned_offload_parts": planned,
+            "failed_parts": (
+                int(np.count_nonzero(outlook.failed_parts))
+                if outlook.failed_parts is not None
+                else 0
+            ),
+        }
+        return mask
+
+    def observe_bytes(
+        self,
+        outlook,
+        *,
+        host_link_bytes,
+        network_bytes=0.0,
+        offloaded_mask=None,
+    ) -> bool:
+        if not self.calibrate:
+            return False
+        pending = self._pending
+        self._pending = None
+        if pending is None or pending["iteration"] != outlook.iteration:
+            return False
+        offload_cost = pending["offload_cost"]
+        fetch_cost = pending["fetch_cost"]
+        if offloaded_mask is None:
+            # Global decision: the executed mode is all-or-nothing.
+            executed = np.zeros(len(offload_cost), dtype=bool)
+        else:
+            executed = np.asarray(offloaded_mask, dtype=bool)
+            if len(executed) != len(offload_cost):
+                executed = np.full(
+                    len(offload_cost), bool(executed.any()), dtype=bool
+                )
+        predicted_offload = float(offload_cost[executed].sum())
+        if predicted_offload <= 0.0:
+            # Pure fetch executed: the fetch side is a closed form with no
+            # estimation error, so there is nothing to reweight.
+            if self.last_decision is not None:
+                self.last_decision["observed_host_link_bytes"] = float(
+                    host_link_bytes
+                )
+            return False
+        predicted_fetch = float(fetch_cost[~executed].sum())
+        realized_offload = max(float(host_link_bytes) - predicted_fetch, 0.0)
+        ratio = realized_offload / predicted_offload
+        # Clip pathological single-iteration ratios so one tiny frontier
+        # cannot destabilize the belief.
+        ratio = min(max(ratio, 0.1), 10.0)
+        a = self.ema_alpha
+        self._byte_correction = (1 - a) * self._byte_correction + a * ratio
+        if self.last_decision is not None:
+            self.last_decision["observed_host_link_bytes"] = float(
+                host_link_bytes
+            )
+            self.last_decision["byte_correction"] = self._byte_correction
+        return True
+
+
 _REGISTRY: Dict[str, Type[OffloadPolicy]] = {
     cls.name: cls
     for cls in (
@@ -329,6 +557,7 @@ _REGISTRY: Dict[str, Type[OffloadPolicy]] = {
         DynamicCostPolicy,
         OraclePolicy,
         PerPartCostPolicy,
+        AdaptiveOffloadPolicy,
     )
 }
 
@@ -338,12 +567,26 @@ def list_policies() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def check_policy_name(name: str) -> None:
+    """Raise :class:`ConfigError` (with a did-you-mean hint, same idiom as
+    the metrics registry) when ``name`` is not a registered policy."""
+    if name in _REGISTRY:
+        return
+    hint = ""
+    close = difflib.get_close_matches(str(name), _REGISTRY, n=1)
+    if close:
+        hint = f" — did you mean {close[0]!r}?"
+    raise ConfigError(
+        f"unknown offload policy {name!r}{hint} "
+        f"(available: {', '.join(list_policies())})"
+    )
+
+
 def get_policy(name: str, **kwargs: object) -> OffloadPolicy:
     """Instantiate an offload policy by name."""
+    check_policy_name(name)
+    cls = _REGISTRY[name]
     try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown offload policy {name!r}; available: {', '.join(list_policies())}"
-        ) from None
-    return cls(**kwargs)  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ConfigError(f"offload policy {name!r}: {exc}") from None

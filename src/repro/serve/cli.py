@@ -219,6 +219,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with tracing_session(
             trace_out=args.trace_out,
             jsonl_out=args.trace_events,
+            decision_out=args.decision_trace,
             progress=args.progress,
         ):
             return asyncio.run(_serve(config, args.ready_file))

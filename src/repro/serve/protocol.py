@@ -29,7 +29,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.api import RunSpec, _SPEC_FIELDS
+from repro.api import PolicySpec, RunSpec, _SPEC_FIELDS
 from repro.cache.keys import canonical_key
 from repro.errors import ConfigError
 from repro.experiments.sweep import SweepOutcome, SweepTask
@@ -43,7 +43,7 @@ _ENVELOPE_FIELDS = frozenset({"tenant", "priority"})
 #: SweepTask fields a sweep request may set per task.
 _TASK_FIELDS = frozenset(
     {"dataset", "kernel", "partitions", "tier", "seed", "max_iterations",
-     "memory_budget_bytes", "backend"}
+     "memory_budget_bytes", "backend", "policy"}
 )
 
 _SWEEP_FIELDS = frozenset({"tasks", "jobs"}) | _ENVELOPE_FIELDS
@@ -79,23 +79,23 @@ class ServeRequest:
         else:
             spec = self.spec
             if self.kind == "compare":
-                # A comparison always covers all four architectures; the
-                # spec's architecture/policy fields are documented as
-                # ignored, so normalize them out of the key — requests
-                # differing only there dedup exactly.
+                # A comparison always covers all four architectures, so the
+                # spec's architecture field is documented as ignored and
+                # normalized out of the key — requests differing only there
+                # dedup exactly.  ``policy`` stays: it changes the
+                # disaggregated-NDP row's accounting.
                 spec = replace(
                     spec,
                     architecture=RunSpec.__dataclass_fields__[
                         "architecture"
                     ].default,
-                    policy=None,
                 )
             payload = {"spec": spec.digest()}
         return canonical_key(f"serve-{self.kind}", payload)
 
 
 def _task_payload(task: SweepTask) -> Dict[str, Any]:
-    return {
+    payload = {
         "dataset": task.dataset,
         "kernel": task.kernel,
         "partitions": task.partitions,
@@ -105,6 +105,10 @@ def _task_payload(task: SweepTask) -> Dict[str, Any]:
         "memory_budget_bytes": task.memory_budget_bytes,
         "backend": task.backend,
     }
+    if task.policy is not None:
+        # Absent when unset so pre-policy sweep digests stay stable.
+        payload["policy"] = task.policy.to_json()
+    return payload
 
 
 def _parse_envelope(payload: Mapping[str, Any]) -> Tuple[str, int]:
@@ -165,6 +169,11 @@ def parse_request(kind: str, payload: Any) -> ServeRequest:
             f"unknown RunSpec field(s) {sorted(unknown)}; "
             f"valid fields: {sorted(_SPEC_FIELDS)}"
         )
+    if spec_fields.get("policy") is not None:
+        # Strings/objects are the wire format for policies, not a deprecated
+        # API use — convert before RunSpec sees them so the one-shot
+        # DeprecationWarning stays reserved for Python callers.
+        spec_fields["policy"] = PolicySpec.parse(spec_fields["policy"])
     try:
         spec = RunSpec(**spec_fields)
     except TypeError as exc:
@@ -215,8 +224,11 @@ def _parse_task(raw: Any) -> SweepTask:
         if required not in raw:
             raise ConfigError(f"sweep task missing required field {required!r}")
     _validate_names(dataset=raw["dataset"], kernel=raw["kernel"])
+    data = dict(raw)
+    if data.get("policy") is not None:
+        data["policy"] = PolicySpec.parse(data["policy"])
     try:
-        return SweepTask(**dict(raw))
+        return SweepTask(**data)
     except TypeError as exc:
         raise ConfigError(f"invalid sweep task payload: {exc}") from exc
 

@@ -93,6 +93,40 @@ class TestReplayMatchesIndependentRuns:
         assert all(r.final_state is trace.final_state for r in replayed)
 
 
+class TestPoliciesNeverTouchNumerics:
+    """Offload policies move *work placement*, never the kernel math: every
+    registered policy must replay a shared trace to bit-identical results."""
+
+    @pytest.mark.parametrize("kernel_name", ("pagerank", "sssp"))
+    def test_bit_identical_under_every_policy(
+        self, kernel_name, lj_tiny, config4
+    ):
+        from repro.runtime.offload import get_policy, list_policies
+
+        kernel = get_kernel(kernel_name)
+        trace = record_trace(
+            lj_tiny,
+            kernel,
+            num_parts=config4.num_memory_nodes,
+            source=_source_for(kernel, lj_tiny),
+            max_iterations=8,
+            graph_name="lj",
+            seed=3,
+        )
+        ndp_cfg = config4.with_options(enable_inc=True)
+        baseline = DisaggregatedNDPSimulator(ndp_cfg).replay(trace)
+        for name in list_policies():
+            run = DisaggregatedNDPSimulator(
+                ndp_cfg, policy=get_policy(name)
+            ).replay(trace)
+            assert run.num_iterations == baseline.num_iterations, name
+            assert run.converged == baseline.converged, name
+            assert run.final_state is trace.final_state, name
+            np.testing.assert_array_equal(
+                run.result_property(), baseline.result_property(), err_msg=name
+            )
+
+
 class TestExecuteOnce:
     def test_compare_runs_numerics_once(self, lj_tiny):
         kernel = get_kernel("pagerank")

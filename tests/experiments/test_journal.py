@@ -68,6 +68,26 @@ class TestTaskSerialization:
         )
         assert task_from_json(task_to_json(task)) == task
 
+    def test_roundtrip_with_policy(self):
+        from repro.api import PolicySpec
+
+        plain = SweepTask("wikitalk-sim", "pagerank", 4, "tiny", 7)
+        task = SweepTask(
+            "wikitalk-sim",
+            "pagerank",
+            4,
+            "tiny",
+            7,
+            policy=PolicySpec("threshold", {"min_avg_degree": 2.0}),
+        )
+        rebuilt = task_from_json(task_to_json(task))
+        assert rebuilt == task
+        assert isinstance(rebuilt.policy, PolicySpec)
+        # Policy participates in the task digest; its absence is the
+        # pre-policy encoding, so old journals keep their digests.
+        assert task_digest(task) != task_digest(plain)
+        assert "policy" not in task_to_json(plain)
+
     def test_digests_are_content_addressed(self):
         assert task_digest(TASKS[0]) == task_digest(TASKS[0])
         assert task_digest(TASKS[0]) != task_digest(TASKS[1])

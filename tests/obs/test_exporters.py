@@ -9,6 +9,7 @@ from pathlib import Path
 import pytest
 
 from repro.obs.exporters import (
+    DecisionTraceExporter,
     JsonlStreamExporter,
     ProgressReporter,
     chrome_trace_dict,
@@ -102,6 +103,114 @@ class TestJsonl:
         tracer.event("after")  # must not raise on the closed file
         rows = [json.loads(line) for line in out.read_text().splitlines()]
         assert [r["name"] for r in rows] == ["before"]
+
+
+def _decision_tracer() -> Tracer:
+    """Two decided iterations (one flip) plus spans the exporter must skip."""
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("run", category=CATEGORY_RUN, architecture="d-ndp"):
+        with tracer.span(
+            "iteration",
+            category=CATEGORY_ITERATION,
+            iteration=0,
+            architecture="disaggregated-ndp",
+            policy="adaptive",
+            frontier_size=900,
+            edges=40_000,
+            offloaded=True,
+            host_link_bytes=7200,
+            network_bytes=512,
+            decision={
+                "iteration": 0,
+                "mode": "offload",
+                "offloaded_parts": 4,
+                "num_parts": 4,
+                "byte_correction": 1.0,
+            },
+        ):
+            pass
+        with tracer.span(
+            "iteration",
+            category=CATEGORY_ITERATION,
+            iteration=1,
+            architecture="disaggregated-ndp",
+            policy="adaptive",
+            frontier_size=30,
+            edges=90,
+            offloaded=False,
+            host_link_bytes=840,
+            network_bytes=0,
+            decision={
+                "iteration": 1,
+                "mode": "fetch",
+                "offloaded_parts": 0,
+                "num_parts": 4,
+                "byte_correction": 0.93,
+                "flipped": True,
+            },
+        ):
+            pass
+        # No decision attr: a static architecture's iteration — skipped.
+        with tracer.span(
+            "iteration",
+            category=CATEGORY_ITERATION,
+            iteration=0,
+            host_link_bytes=64,
+        ):
+            pass
+    return tracer
+
+
+class TestDecisionTrace:
+    def test_golden(self, tmp_path):
+        out = tmp_path / "decisions.jsonl"
+        with DecisionTraceExporter(str(out)) as exporter:
+            for span in _decision_tracer().spans:
+                exporter(span)
+        _check_golden("decisions.jsonl", out.read_text())
+
+    def test_filters_and_merges(self, tmp_path):
+        out = tmp_path / "decisions.jsonl"
+        exporter = DecisionTraceExporter(str(out))
+        tracer = _decision_tracer()
+        for span in tracer.spans:
+            exporter(span)
+        exporter.close()
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        # Only the decided iterations export — the run span and the
+        # decision-less iteration are filtered out.
+        assert exporter.count == 2
+        assert [r["mode"] for r in rows] == ["offload", "fetch"]
+        # Byte facts ride alongside the policy explanation.
+        assert rows[0]["host_link_bytes"] == 7200
+        assert rows[0]["policy"] == "adaptive"
+        assert rows[1]["flipped"] is True
+
+    def test_decision_keys_win_over_span_attrs(self, tmp_path):
+        out = tmp_path / "decisions.jsonl"
+        with DecisionTraceExporter(str(out)) as exporter:
+            tracer = Tracer(clock=FakeClock())
+            tracer.add_listener(exporter)
+            with tracer.span(
+                "iteration",
+                category=CATEGORY_ITERATION,
+                iteration=5,
+                policy="span-name",
+                decision={"iteration": 5, "mode": "fetch", "policy": "adaptive"},
+            ):
+                pass
+        (row,) = [json.loads(l) for l in out.read_text().splitlines()]
+        assert row["policy"] == "adaptive"
+
+    def test_closed_exporter_ignores_spans(self, tmp_path):
+        out = tmp_path / "decisions.jsonl"
+        exporter = DecisionTraceExporter(str(out))
+        exporter.close()
+        tracer = _decision_tracer()
+        for span in tracer.spans:
+            exporter(span)  # must not raise on the closed file
+        assert exporter.count == 0
+        assert out.read_text() == ""
 
 
 class TestChromeTrace:

@@ -6,12 +6,14 @@ import pytest
 from repro.errors import ConfigError
 from repro.kernels.pagerank import PageRank
 from repro.runtime.offload import (
+    AdaptiveOffloadPolicy,
     AlwaysOffload,
     DynamicCostPolicy,
     IterationOutlook,
     NeverOffload,
     OraclePolicy,
     ThresholdPolicy,
+    check_policy_name,
     get_policy,
     list_policies,
 )
@@ -119,6 +121,103 @@ class TestOraclePolicy:
         assert not DynamicCostPolicy.requires_oracle
 
 
+class TestAdaptivePolicy:
+    def _outlook(self, *, failed=None, iteration=0):
+        # Heavily duplicated dense shards (50k/40k edges into 2k vertices)
+        # next to a sparse tail — offload wins the former, fetch the latter.
+        edges = np.array([50_000.0, 40_000.0, 100.0, 50.0])
+        frontier = np.array([400.0, 300.0, 80.0, 40.0])
+        return IterationOutlook(
+            iteration=iteration,
+            frontier_size=int(frontier.sum()),
+            edges_traversed=int(edges.sum()),
+            num_vertices=2000,
+            num_parts=4,
+            edges_per_part=edges,
+            frontier_per_part=frontier,
+            failed_parts=failed,
+        )
+
+    def test_per_part_mask_splits_dense_and_sparse(self):
+        policy = AdaptiveOffloadPolicy()
+        mask = policy.decide_per_part(PageRank(), self._outlook())
+        assert mask is not None
+        # Dense shards offload, the sparse tail fetches.
+        assert mask[0] and mask[1]
+        assert not mask[3]
+
+    def test_failed_parts_masked_proactively(self):
+        policy = AdaptiveOffloadPolicy()
+        failed = np.array([True, False, False, False])
+        mask = policy.decide_per_part(PageRank(), self._outlook(failed=failed))
+        assert not mask[0]
+
+    def test_last_decision_records_features(self):
+        policy = AdaptiveOffloadPolicy()
+        policy.decide_per_part(PageRank(), self._outlook())
+        record = policy.last_decision
+        assert record is not None
+        assert record["policy"] == "adaptive"
+        assert record["iteration"] == 0
+        assert record["byte_correction"] == 1.0
+        assert "predicted_offload_bytes" in record
+
+    def test_observe_bytes_reweights(self):
+        policy = AdaptiveOffloadPolicy(ema_alpha=1.0)
+        o = self._outlook()
+        mask = policy.decide_per_part(PageRank(), o)
+        # Ledger reports half the predicted offload bytes: the correction
+        # moves toward the realized/predicted ratio.
+        predicted = policy._pending["offload_cost"][mask].sum()
+        fetch_side = policy._pending["fetch_cost"][~mask].sum()
+        updated = policy.observe_bytes(
+            o,
+            host_link_bytes=fetch_side + predicted / 2,
+            offloaded_mask=mask,
+        )
+        assert updated
+        assert policy._byte_correction == pytest.approx(0.5)
+
+    def test_pure_fetch_produces_no_update(self):
+        policy = AdaptiveOffloadPolicy()
+        o = self._outlook()
+        policy.decide_per_part(PageRank(), o)
+        updated = policy.observe_bytes(
+            o,
+            host_link_bytes=123.0,
+            offloaded_mask=np.zeros(4, dtype=bool),
+        )
+        assert not updated
+        assert policy._byte_correction == 1.0
+
+    def test_stale_feedback_ignored(self):
+        policy = AdaptiveOffloadPolicy()
+        policy.decide_per_part(PageRank(), self._outlook(iteration=3))
+        updated = policy.observe_bytes(
+            self._outlook(iteration=7),
+            host_link_bytes=1.0,
+            offloaded_mask=np.ones(4, dtype=bool),
+        )
+        assert not updated
+
+    def test_ratio_clipped(self):
+        policy = AdaptiveOffloadPolicy(ema_alpha=1.0)
+        o = self._outlook()
+        mask = policy.decide_per_part(PageRank(), o)
+        policy.observe_bytes(
+            o, host_link_bytes=1e12, offloaded_mask=mask
+        )
+        assert policy._byte_correction == 10.0
+
+    def test_calibration_can_be_disabled(self):
+        policy = AdaptiveOffloadPolicy(calibrate=False)
+        o = self._outlook()
+        mask = policy.decide_per_part(PageRank(), o)
+        assert not policy.observe_bytes(
+            o, host_link_bytes=1.0, offloaded_mask=mask
+        )
+
+
 class TestRegistry:
     def test_all_names(self):
         assert set(list_policies()) == {
@@ -128,6 +227,7 @@ class TestRegistry:
             "dynamic",
             "oracle",
             "per-part",
+            "adaptive",
         }
 
     def test_get_with_kwargs(self):
@@ -137,3 +237,11 @@ class TestRegistry:
     def test_unknown(self):
         with pytest.raises(ConfigError):
             get_policy("psychic")
+
+    def test_did_you_mean(self):
+        with pytest.raises(ConfigError, match="did you mean 'adaptive'"):
+            check_policy_name("adaptve")
+
+    def test_bad_kwargs_raise_config_error(self):
+        with pytest.raises(ConfigError, match="threshold"):
+            get_policy("threshold", no_such_knob=1)

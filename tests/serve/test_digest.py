@@ -12,7 +12,7 @@ from dataclasses import fields, replace
 
 import pytest
 
-from repro.api import RunSpec
+from repro.api import PolicySpec, RunSpec
 from repro.serve.protocol import parse_request
 
 #: Pinned digest of the reference spec below.  If this changes, every
@@ -72,6 +72,7 @@ def test_digest_default_vs_explicit_identical():
         {"architecture": "host-dram"},
         {"max_iterations": 3},
         {"backend": "numpy"},
+        {"policy": PolicySpec("adaptive")},
     ],
 )
 def test_digest_sensitive_to_every_field(change):
@@ -95,12 +96,42 @@ def test_request_digest_ignores_envelope():
 
 
 def test_compare_digest_normalizes_ignored_fields():
-    """compare runs all architectures; architecture/policy are documented
-    as ignored, so they must not split the coalescing key."""
+    """compare runs all architectures, so ``architecture`` is documented
+    as ignored and must not split the coalescing key."""
     base = {"dataset": "wikitalk-sim", "kernel": "bfs"}
     a = parse_request("compare", base)
     b = parse_request("compare", {**base, "architecture": "host-dram"})
     assert a.digest() == b.digest()
+
+
+def test_compare_digest_keeps_policy():
+    """``policy`` changes the disaggregated-NDP row's accounting, so two
+    compares differing only in policy must NOT coalesce."""
+    base = {"dataset": "wikitalk-sim", "kernel": "bfs"}
+    plain = parse_request("compare", base)
+    adaptive = parse_request("compare", {**base, "policy": "adaptive"})
+    assert plain.digest() != adaptive.digest()
+
+
+def test_policy_spelling_variants_share_a_digest():
+    """The wire string, the JSON mapping, and key-order variants all
+    describe the same workload — one digest, one coalesced execution."""
+    base = {"dataset": "wikitalk-sim", "kernel": "bfs"}
+    as_string = parse_request(
+        "run", {**base, "policy": "threshold:min_avg_degree=2.0"}
+    )
+    as_mapping = parse_request(
+        "run",
+        {
+            **base,
+            "policy": {
+                "name": "threshold",
+                "params": {"min_avg_degree": 2.0},
+            },
+        },
+    )
+    assert isinstance(as_string.spec.policy, PolicySpec)
+    assert as_string.digest() == as_mapping.digest()
 
 
 def test_kind_namespaces_the_digest():

@@ -113,6 +113,60 @@ def test_parse_wraps_bad_types_as_config_error():
         )
 
 
+def test_parse_run_policy_string_is_wire_format_not_deprecated():
+    """The request body's ``policy`` string is the wire spelling of a
+    PolicySpec, not a use of the deprecated string API: it must parse
+    without a DeprecationWarning."""
+    import warnings
+
+    from repro.api import PolicySpec
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        request = parse_request(
+            "run",
+            {
+                "dataset": "wikitalk-sim",
+                "kernel": "pagerank",
+                "policy": "threshold:min_avg_degree=2.0",
+            },
+        )
+    assert request.spec.policy == PolicySpec(
+        "threshold", {"min_avg_degree": 2.0}
+    )
+
+
+def test_parse_run_rejects_unknown_policy():
+    with pytest.raises(ConfigError, match="unknown offload policy"):
+        parse_request(
+            "run",
+            {
+                "dataset": "wikitalk-sim",
+                "kernel": "pagerank",
+                "policy": "psychic",
+            },
+        )
+
+
+def test_parse_sweep_task_policy():
+    from repro.api import PolicySpec
+
+    request = parse_request(
+        "sweep",
+        {
+            "tasks": [
+                {
+                    "dataset": "wikitalk-sim",
+                    "kernel": "cc",
+                    "partitions": 4,
+                    "policy": "adaptive",
+                }
+            ]
+        },
+    )
+    assert request.tasks[0].policy == PolicySpec("adaptive")
+
+
 def test_canonical_bytes_is_order_independent():
     a = canonical_bytes({"b": 1, "a": {"y": 2, "x": 3}})
     b = canonical_bytes({"a": {"x": 3, "y": 2}, "b": 1})
